@@ -1,0 +1,572 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 8), plus ablations of the design choices listed in DESIGN.md §5.
+//
+// Each paper artifact has one Benchmark* family:
+//
+//	BenchmarkTable1/2/3  — actual cluster sizes per algorithm (min/avg are
+//	                       attached as custom metrics per (dataset,k,t) cell)
+//	BenchmarkFigure5     — run time vs t (the benchmark time is the metric)
+//	BenchmarkFigure6     — SSE vs t per data set (SSE as custom metric)
+//	BenchmarkFigure7     — SSE over the (k,t) grid on MCD
+//
+// The sub-benchmark grids are representative subsets of the paper's full
+// grids so `go test -bench=.` finishes in minutes; cmd/benchtables and
+// cmd/benchfigs run the complete grids.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/emd"
+	"repro/internal/generalization"
+	"repro/internal/metrics"
+	"repro/internal/micro"
+	"repro/internal/synth"
+	"repro/internal/tclose"
+)
+
+// benchKs and benchTs subsample the paper's k ∈ {2..30} × t ∈ {0.01..0.25}
+// grid.
+var (
+	benchKs = []int{2, 10, 30}
+	benchTs = []float64{0.05, 0.13, 0.25}
+)
+
+func benchCell(b *testing.B, tbl *repro.Table, alg repro.Algorithm, k int, tl float64) {
+	b.Helper()
+	var sizesMin, sizesAvg float64
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Anonymize(tbl, repro.Config{
+			Algorithm: alg, K: k, T: tl, SkipAssessment: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizesMin = float64(res.Sizes.Min)
+		sizesAvg = res.Sizes.Avg
+	}
+	b.ReportMetric(sizesMin, "minsize")
+	b.ReportMetric(sizesAvg, "avgsize")
+}
+
+// benchTable runs one of Tables 1-3: cluster sizes over (dataset, k, t).
+func benchTable(b *testing.B, alg repro.Algorithm) {
+	sets := []struct {
+		name string
+		tbl  *repro.Table
+	}{
+		{"MCD", repro.CensusMCD()},
+		{"HCD", repro.CensusHCD()},
+	}
+	for _, ds := range sets {
+		for _, k := range benchKs {
+			for _, tl := range benchTs {
+				name := fmt.Sprintf("%s/k=%d/t=%.2f", ds.name, k, tl)
+				b.Run(name, func(b *testing.B) {
+					benchCell(b, ds.tbl, alg, k, tl)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: Algorithm 1 (microaggregation +
+// merging) actual cluster sizes.
+func BenchmarkTable1(b *testing.B) { benchTable(b, repro.Merge) }
+
+// BenchmarkTable2 regenerates Table 2: Algorithm 2 (k-anonymity-first)
+// actual cluster sizes.
+func BenchmarkTable2(b *testing.B) { benchTable(b, repro.KAnonymityFirst) }
+
+// BenchmarkTable3 regenerates Table 3: Algorithm 3 (t-closeness-first)
+// actual cluster sizes.
+func BenchmarkTable3(b *testing.B) { benchTable(b, repro.TClosenessFirst) }
+
+// figure5N is the Patient Discharge sample size for the run-time figure.
+// The paper uses 23,435 records; Algorithm 2's O(n³/k) refinement makes that
+// impractical inside `go test -bench=.` (use cmd/benchfigs -n 23435 for the
+// full-size run). The run-time ordering and trends are already clear at this
+// size.
+const figure5N = 1500
+
+// BenchmarkFigure5 regenerates Figure 5: run time of the three algorithms
+// on the Patient Discharge data set, k=2. The ns/op of each sub-benchmark is
+// the figure's Y value.
+func BenchmarkFigure5(b *testing.B) {
+	tbl := repro.PatientDischarge(figure5N, 20160314)
+	algs := []repro.Algorithm{repro.Merge, repro.KAnonymityFirst, repro.TClosenessFirst}
+	for _, alg := range algs {
+		for _, tl := range benchTs {
+			b.Run(fmt.Sprintf("%v/t=%.2f", alg, tl), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := repro.Anonymize(tbl, repro.Config{
+						Algorithm: alg, K: 2, T: tl, SkipAssessment: true,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: normalized SSE vs t at k=2 for the
+// HCD, MCD and Patient Discharge data sets. SSE is attached as a custom
+// metric ("sse/1e6" scaled to be visible next to ns/op).
+func BenchmarkFigure6(b *testing.B) {
+	sets := []struct {
+		name string
+		tbl  *repro.Table
+	}{
+		{"HCD", repro.CensusHCD()},
+		{"MCD", repro.CensusMCD()},
+		{"PD", repro.PatientDischarge(figure5N, 20160314)},
+	}
+	algs := []repro.Algorithm{repro.Merge, repro.KAnonymityFirst, repro.TClosenessFirst}
+	for _, ds := range sets {
+		for _, alg := range algs {
+			for _, tl := range benchTs {
+				b.Run(fmt.Sprintf("%s/%v/t=%.2f", ds.name, alg, tl), func(b *testing.B) {
+					var sse float64
+					for i := 0; i < b.N; i++ {
+						res, err := repro.Anonymize(ds.tbl, repro.Config{
+							Algorithm: alg, K: 2, T: tl, SkipAssessment: true,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						sse = res.SSE
+					}
+					b.ReportMetric(sse*1e6, "sse-ppm")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: the normalized SSE surface over
+// (k, t) on the MCD data set, one sub-benchmark per algorithm and grid
+// point.
+func BenchmarkFigure7(b *testing.B) {
+	tbl := repro.CensusMCD()
+	algs := []repro.Algorithm{repro.Merge, repro.KAnonymityFirst, repro.TClosenessFirst}
+	for _, alg := range algs {
+		for _, k := range benchKs {
+			for _, tl := range benchTs {
+				b.Run(fmt.Sprintf("%v/k=%d/t=%.2f", alg, k, tl), func(b *testing.B) {
+					var sse float64
+					for i := 0; i < b.N; i++ {
+						res, err := repro.Anonymize(tbl, repro.Config{
+							Algorithm: alg, K: k, T: tl, SkipAssessment: true,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						sse = res.SSE
+					}
+					b.ReportMetric(sse*1e6, "sse-ppm")
+				})
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblationPartitioner compares MDAV and V-MDAV as the initial
+// partitioner of Algorithm 1.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	tbl := repro.CensusMCD()
+	parts := []struct {
+		name string
+		part repro.Partitioner
+	}{
+		{"MDAV", nil},
+		{"VMDAV", func(points [][]float64, k int) ([]micro.Cluster, error) {
+			return micro.VMDAV(points, k, 0)
+		}},
+	}
+	for _, p := range parts {
+		b.Run(p.name, func(b *testing.B) {
+			var sse float64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Anonymize(tbl, repro.Config{
+					Algorithm: repro.Merge, K: 5, T: 0.17,
+					Partitioner: p.part, SkipAssessment: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse = res.SSE
+			}
+			b.ReportMetric(sse*1e6, "sse-ppm")
+		})
+	}
+}
+
+// BenchmarkAblationAlg2Standalone quantifies the cost of Algorithm 2's
+// finishing merge step (the t-closeness guarantee) against the standalone
+// swap-only variant, which may miss the target.
+func BenchmarkAblationAlg2Standalone(b *testing.B) {
+	tbl := repro.CensusMCD()
+	b.Run("standalone", func(b *testing.B) {
+		var maxEMD float64
+		for i := 0; i < b.N; i++ {
+			res, err := tclose.Algorithm2Standalone(tbl, 5, 0.09)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxEMD = res.MaxEMD
+		}
+		b.ReportMetric(maxEMD*1e4, "maxemd-e4")
+	})
+	b.Run("guaranteed", func(b *testing.B) {
+		var maxEMD float64
+		for i := 0; i < b.N; i++ {
+			res, err := tclose.Algorithm2(tbl, 5, 0.09)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxEMD = res.MaxEMD
+		}
+		b.ReportMetric(maxEMD*1e4, "maxemd-e4")
+	})
+}
+
+// BenchmarkAblationMergePolicy compares the paper's QI-nearest merge
+// partner selection with a greedy EMD-minimizing selection.
+func BenchmarkAblationMergePolicy(b *testing.B) {
+	tbl := repro.CensusMCD()
+	policies := []struct {
+		name   string
+		policy tclose.MergePolicy
+	}{
+		{"nearest-qi", tclose.MergeNearestQI},
+		{"greedy-emd", tclose.MergeGreedyEMD},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			var sse, merges float64
+			for i := 0; i < b.N; i++ {
+				res, err := tclose.Algorithm1Policy(tbl, 5, 0.21, nil, p.policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				anon, err := micro.Aggregate(tbl, res.Clusters)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := metrics.NormalizedSSE(tbl, anon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse, merges = s, float64(res.Merges)
+			}
+			b.ReportMetric(sse*1e6, "sse-ppm")
+			b.ReportMetric(merges, "merges")
+		})
+	}
+}
+
+// BenchmarkAblationAggregation compares the mean and median aggregation
+// operators on the same Algorithm 3 partition (Section 2.3: the mean is
+// SSE-optimal for any fixed partition).
+func BenchmarkAblationAggregation(b *testing.B) {
+	tbl := repro.CensusMCD()
+	res, err := tclose.Algorithm3(tbl, 5, 0.13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := []struct {
+		name string
+		op   micro.AggregationOp
+	}{
+		{"mean", micro.OpMean},
+		{"median", micro.OpMedian},
+	}
+	for _, o := range ops {
+		b.Run(o.name, func(b *testing.B) {
+			var sse float64
+			for i := 0; i < b.N; i++ {
+				anon, err := micro.AggregateWith(tbl, res.Clusters, o.op)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := metrics.NormalizedSSE(tbl, anon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse = s
+			}
+			b.ReportMetric(sse*1e6, "sse-ppm")
+		})
+	}
+}
+
+// BenchmarkBaselineMondrian compares the generalization baseline
+// (Mondrian-t) against the microaggregation algorithms on equal (k, t) —
+// the paper's central claim is that microaggregation preserves more utility.
+func BenchmarkBaselineMondrian(b *testing.B) {
+	tbl := repro.CensusMCD()
+	b.Run("mondrian-t", func(b *testing.B) {
+		var sse float64
+		for i := 0; i < b.N; i++ {
+			clusters, err := generalization.MondrianT(tbl, 5, 0.17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			anon, err := generalization.Aggregate(tbl, clusters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := metrics.NormalizedSSE(tbl, anon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse = s
+		}
+		b.ReportMetric(sse*1e6, "sse-ppm")
+	})
+	b.Run("alg3", func(b *testing.B) {
+		var sse float64
+		for i := 0; i < b.N; i++ {
+			res, err := repro.Anonymize(tbl, repro.Config{
+				Algorithm: repro.TClosenessFirst, K: 5, T: 0.17, SkipAssessment: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse = res.SSE
+		}
+		b.ReportMetric(sse*1e6, "sse-ppm")
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkMDAV measures the partition substrate alone.
+func BenchmarkMDAV(b *testing.B) {
+	tbl := repro.CensusMCD()
+	points := tbl.QIMatrix()
+	for _, k := range []int{2, 10} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := micro.MDAV(points, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEMD measures one Earth Mover's Distance evaluation over the full
+// Census value domain — the inner loop of Algorithms 1 and 2.
+func BenchmarkEMD(b *testing.B) {
+	tbl := synth.CensusMCD()
+	p, err := tclose.Algorithm3(tbl, 5, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := p.Clusters[0].Rows
+	conf := tbl.Schema().Confidentials()[0]
+	space, err := emd.NewSpace(tbl.ColumnView(conf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = space.EMDOf(rows)
+	}
+}
+
+// BenchmarkAblationReleaseStyle compares the centroid release (the paper's
+// aggregation step) with the QI-preserving Anatomy-style permutation
+// release on the same Algorithm 3 partition. The permutation release has
+// zero quasi-identifier SSE by construction; the metric of interest is the
+// QI↔confidential correlation distortion, reported as corr-e3 (measured
+// correlation of the release, scaled by 1000 — original is ~520).
+func BenchmarkAblationReleaseStyle(b *testing.B) {
+	tbl := repro.CensusMCD()
+	res, err := tclose.Algorithm3(tbl, 5, 0.13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("centroid", func(b *testing.B) {
+		var sse, corr float64
+		for i := 0; i < b.N; i++ {
+			anon, err := micro.Aggregate(tbl, res.Clusters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := metrics.NormalizedSSE(tbl, anon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := anon.MaxQIConfidentialCorrelation()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse, corr = s, c
+		}
+		b.ReportMetric(sse*1e6, "sse-ppm")
+		b.ReportMetric(corr*1e3, "corr-e3")
+	})
+	b.Run("anatomy", func(b *testing.B) {
+		var sse, corr float64
+		for i := 0; i < b.N; i++ {
+			anon, err := micro.AnatomyRelease(tbl, res.Clusters, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := metrics.NormalizedSSE(tbl, anon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := anon.MaxQIConfidentialCorrelation()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse, corr = s, c
+		}
+		b.ReportMetric(sse*1e6, "sse-ppm")
+		b.ReportMetric(corr*1e3, "corr-e3")
+	})
+}
+
+// BenchmarkBaselineSABRE reproduces the paper's Section 3 comparison with
+// SABRE: the greedy bucketization needs at least as large equivalence
+// classes as Algorithm 3's analytic minimum, costing utility. Metrics:
+// equivalence-class size and SSE.
+func BenchmarkBaselineSABRE(b *testing.B) {
+	tbl := repro.CensusMCD()
+	for _, tl := range []float64{0.05, 0.13} {
+		b.Run(fmt.Sprintf("sabre/t=%.2f", tl), func(b *testing.B) {
+			var sse, ecs float64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Anonymize(tbl, repro.Config{
+					Algorithm: repro.SABREBaseline, K: 2, T: tl, SkipAssessment: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse, ecs = res.SSE, float64(res.EffectiveK)
+			}
+			b.ReportMetric(sse*1e6, "sse-ppm")
+			b.ReportMetric(ecs, "ecsize")
+		})
+		b.Run(fmt.Sprintf("alg3/t=%.2f", tl), func(b *testing.B) {
+			var sse, ecs float64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Anonymize(tbl, repro.Config{
+					Algorithm: repro.TClosenessFirst, K: 2, T: tl, SkipAssessment: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse, ecs = res.SSE, float64(res.EffectiveK)
+			}
+			b.ReportMetric(sse*1e6, "sse-ppm")
+			b.ReportMetric(ecs, "ecsize")
+		})
+	}
+}
+
+// BenchmarkBaselineIncognito compares the classical full-domain
+// generalization approach (Incognito-style lattice search with the
+// t-closeness constraint) against Algorithm 3 — the paper's Section 4
+// argument for microaggregation over generalization, quantified.
+func BenchmarkBaselineIncognito(b *testing.B) {
+	tbl := repro.CensusMCD()
+	for _, alg := range []repro.Algorithm{repro.IncognitoBaseline, repro.TClosenessFirst} {
+		b.Run(fmt.Sprintf("%v", alg), func(b *testing.B) {
+			var sse float64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Anonymize(tbl, repro.Config{
+					Algorithm: alg, K: 5, T: 0.17, SkipAssessment: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse = res.SSE
+			}
+			b.ReportMetric(sse*1e6, "sse-ppm")
+		})
+	}
+}
+
+// BenchmarkLinkageRisk measures the record-linkage disclosure risk of each
+// algorithm's release at equal (k, t) — the other axis of the SDC
+// risk/utility trade-off (rate scaled by 1e4; the 1/k ceiling at k=5 is
+// 2000).
+func BenchmarkLinkageRisk(b *testing.B) {
+	tbl := repro.CensusMCD()
+	algs := []repro.Algorithm{repro.Merge, repro.TClosenessFirst, repro.MondrianBaseline}
+	for _, alg := range algs {
+		b.Run(fmt.Sprintf("%v", alg), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.Anonymize(tbl, repro.Config{
+					Algorithm: alg, K: 5, T: 0.17, SkipAssessment: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := repro.LinkageRisk(tbl, res.Anonymized)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = r
+			}
+			b.ReportMetric(rate*1e4, "linkage-e4")
+		})
+	}
+}
+
+// BenchmarkAblationUnivariateOptimal compares MDAV against the exact
+// Hansen-Mukherjee dynamic program on a single quasi-identifier, bounding
+// how much the multivariate heuristic loses to the 1-D optimum
+// (within-cluster SSE of the partition, scaled by 1e3).
+func BenchmarkAblationUnivariateOptimal(b *testing.B) {
+	tbl := repro.CensusMCD()
+	col := tbl.Column(0)
+	points := make([][]float64, len(col))
+	for i, v := range col {
+		points[i] = []float64{v}
+	}
+	clusterSSE := func(clusters []micro.Cluster) float64 {
+		total := 0.0
+		for _, c := range clusters {
+			var sum, sum2 float64
+			for _, r := range c.Rows {
+				sum += col[r]
+				sum2 += col[r] * col[r]
+			}
+			total += sum2 - sum*sum/float64(len(c.Rows))
+		}
+		return total
+	}
+	b.Run("optimal-dp", func(b *testing.B) {
+		var sse float64
+		for i := 0; i < b.N; i++ {
+			clusters, err := micro.OptimalUnivariate(col, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse = clusterSSE(clusters)
+		}
+		b.ReportMetric(sse/1e3, "sse-k")
+	})
+	b.Run("mdav", func(b *testing.B) {
+		var sse float64
+		for i := 0; i < b.N; i++ {
+			clusters, err := micro.MDAV(points, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse = clusterSSE(clusters)
+		}
+		b.ReportMetric(sse/1e3, "sse-k")
+	})
+}

@@ -1,0 +1,125 @@
+// Command benchfigs regenerates the series behind the paper's evaluation
+// figures:
+//
+//   - Figure 5: run time (seconds, log10 in the paper) of the three
+//     algorithms on the Patient Discharge data set, k=2, t ∈ [0.02, 0.25].
+//   - Figure 6: normalized SSE of the three algorithms at k=2 over the same
+//     t range, for the HCD, MCD and Patient Discharge data sets.
+//   - Figure 7: normalized SSE surface over k ∈ [2,30] × t ∈ [0.02,0.25]
+//     for the MCD data set, one surface per algorithm.
+//
+// Output is tab-separated series (one row per grid point) ready for any
+// plotting tool. Absolute run times depend on the machine and the synthetic
+// data size; the paper's claims live in the curve shapes (see
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchfigs -fig 5 -n 2000   # figure 5 with a 2,000-record PD sample
+//	benchfigs                  # all figures with defaults
+//	benchfigs -fig 5 -n 23435  # the paper's full-size run (slow: Alg 2 is O(n³/k))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+var figTs = []float64{0.02, 0.04, 0.06, 0.09, 0.13, 0.17, 0.21, 0.25}
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate only this figure (5-7); 0 means all")
+	n := flag.Int("n", 2000, "Patient Discharge sample size for figures 5 and 6")
+	skipAlg2 := flag.Bool("skip-alg2", false, "omit Algorithm 2 (useful at large -n)")
+	flag.Parse()
+
+	if *fig == 0 || *fig == 5 {
+		figure5(*n, *skipAlg2)
+	}
+	if *fig == 0 || *fig == 6 {
+		figure6(*n, *skipAlg2)
+	}
+	if *fig == 0 || *fig == 7 {
+		figure7()
+	}
+}
+
+func algorithms(skipAlg2 bool) []core.Algorithm {
+	if skipAlg2 {
+		return []core.Algorithm{core.Merge, core.TClosenessFirst}
+	}
+	return []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst}
+}
+
+func anonymize(tbl *dataset.Table, alg core.Algorithm, k int, tl float64) *core.Result {
+	res, err := core.Anonymize(tbl, core.Config{
+		Algorithm: alg, K: k, T: tl, SkipAssessment: true,
+	})
+	if err != nil {
+		log.Fatalf("%v k=%d t=%v: %v", alg, k, tl, err)
+	}
+	return res
+}
+
+// figure5 prints run time (seconds) vs t for each algorithm on the Patient
+// Discharge data set with k=2.
+func figure5(n int, skipAlg2 bool) {
+	fmt.Printf("FIGURE 5 — run time (s) vs t, Patient Discharge (n=%d), k=2\n", n)
+	fmt.Println("t\talgorithm\tseconds")
+	tbl := synth.PatientDischarge(n, synth.DefaultSeed)
+	for _, tl := range figTs {
+		for _, alg := range algorithms(skipAlg2) {
+			start := time.Now()
+			anonymize(tbl, alg, 2, tl)
+			fmt.Printf("%.2f\t%v\t%.4f\n", tl, alg, time.Since(start).Seconds())
+		}
+	}
+	fmt.Println()
+}
+
+// figure6 prints normalized SSE vs t at k=2 for the three data sets.
+func figure6(n int, skipAlg2 bool) {
+	sets := []struct {
+		name string
+		tbl  *dataset.Table
+	}{
+		{"HCD", synth.CensusHCD()},
+		{"MCD", synth.CensusMCD()},
+		{"PatientDischarge", synth.PatientDischarge(n, synth.DefaultSeed)},
+	}
+	fmt.Println("FIGURE 6 — normalized SSE vs t, k=2")
+	fmt.Println("dataset\tt\talgorithm\tSSE")
+	for _, ds := range sets {
+		for _, tl := range figTs {
+			for _, alg := range algorithms(skipAlg2) {
+				res := anonymize(ds.tbl, alg, 2, tl)
+				fmt.Printf("%s\t%.2f\t%v\t%.6f\n", ds.name, tl, alg, res.SSE)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// figure7 prints the normalized SSE surface over (k, t) on MCD.
+func figure7() {
+	fmt.Println("FIGURE 7 — normalized SSE over (k, t), MCD")
+	fmt.Println("k\tt\talgorithm\tSSE")
+	tbl := synth.CensusMCD()
+	start := time.Now()
+	for _, k := range []int{2, 6, 10, 14, 18, 22, 26, 30} {
+		for _, tl := range figTs {
+			for _, alg := range []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst} {
+				res := anonymize(tbl, alg, k, tl)
+				fmt.Printf("%d\t%.2f\t%v\t%.6f\n", k, tl, alg, res.SSE)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "figure 7 time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestLoadTableDemos(t *testing.T) {
+	cases := map[string]int{
+		"census-mcd": 1080,
+		"census-hcd": 1080,
+		"patients":   77,
+	}
+	for demo, want := range cases {
+		tbl, err := loadTable("", demo, 77)
+		if err != nil {
+			t.Fatalf("%s: %v", demo, err)
+		}
+		if tbl.Len() != want {
+			t.Errorf("%s: %d records, want %d", demo, tbl.Len(), want)
+		}
+	}
+}
+
+func TestLoadTableErrors(t *testing.T) {
+	if _, err := loadTable("", "", 0); err == nil {
+		t.Error("neither -in nor -demo should fail")
+	}
+	if _, err := loadTable("x.csv", "patients", 10); err == nil {
+		t.Error("both -in and -demo should fail")
+	}
+	if _, err := loadTable("", "bogus", 10); err == nil {
+		t.Error("unknown demo should fail")
+	}
+	if _, err := loadTable("/nonexistent/file.csv", "", 0); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadTableFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.csv")
+	src := repro.PatientDischarge(25, 1)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := loadTable(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 25 {
+		t.Errorf("loaded %d records, want 25", tbl.Len())
+	}
+}

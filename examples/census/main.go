@@ -1,0 +1,63 @@
+// Command census reproduces, in miniature, the comparison at the heart of
+// the paper's evaluation (Section 8): on the Census-like data sets — one
+// with moderately correlated quasi-identifiers and confidential attribute
+// (MCD, r≈0.52) and one highly correlated (HCD, r≈0.92) — it runs the three
+// microaggregation-for-t-closeness algorithms across a (k, t) grid and
+// reports actual cluster sizes and the normalized SSE utility loss, showing
+// why the t-closeness-first strategy (Algorithm 3) preserves the most
+// utility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	k := flag.Int("k", 5, "k-anonymity parameter")
+	flag.Parse()
+
+	datasets := []struct {
+		name string
+		tbl  *repro.Table
+	}{
+		{"MCD (corr≈0.52)", repro.CensusMCD()},
+		{"HCD (corr≈0.92)", repro.CensusHCD()},
+	}
+	algs := []repro.Algorithm{repro.Merge, repro.KAnonymityFirst, repro.TClosenessFirst}
+	tValues := []float64{0.05, 0.13, 0.21}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "dataset\talgorithm\tt\tclusters\tmin/avg size\tmax EMD\tSSE\ttime")
+	for _, ds := range datasets {
+		// The paper's quoted per-data-set correlation corresponds to the
+		// dominant quasi-identifier (TAXINC), i.e. the maximum over pairs.
+		corr, err := ds.tbl.MaxQIConfidentialCorrelation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t(measured corr %.3f, n=%d)\t\t\t\t\t\t\n", ds.name, corr, ds.tbl.Len())
+		for _, tl := range tValues {
+			for _, alg := range algs {
+				res, err := repro.Anonymize(ds.tbl, repro.Config{
+					Algorithm: alg, K: *k, T: tl, SkipAssessment: true,
+				})
+				if err != nil {
+					log.Fatalf("%s %v t=%v: %v", ds.name, alg, tl, err)
+				}
+				fmt.Fprintf(w, "\t%v\t%.2f\t%d\t%d/%.1f\t%.4f\t%.5f\t%v\n",
+					alg, tl, len(res.Clusters), res.Sizes.Min, res.Sizes.Avg,
+					res.MaxEMD, res.SSE, res.Elapsed.Round(1000000))
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nReading the table: the earlier an algorithm accounts for t-closeness,")
+	fmt.Fprintln(w, "the smaller its clusters and SSE — Algorithm 3 (tclose-first) wins, and")
+	fmt.Fprintln(w, "its advantage shrinks on HCD where QIs and secrets are hard to reconcile.")
+}

@@ -1,0 +1,86 @@
+// Command clinic demonstrates the categorical extension the paper's
+// conclusions call for: protecting a *nominal* confidential attribute
+// (diagnosis codes, which have no meaningful order) with t-closeness under
+// the equal-ground-distance Earth Mover's Distance (total variation), while
+// the quasi-identifiers remain numeric and are microaggregated as usual.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 600, "number of synthetic clinic visits")
+	k := flag.Int("k", 4, "k-anonymity parameter")
+	tl := flag.Float64("t", 0.3, "t-closeness parameter (total-variation EMD)")
+	flag.Parse()
+
+	schema, err := repro.NewSchema(
+		repro.Attribute{Name: "patient", Role: repro.Identifier, Kind: repro.Categorical},
+		repro.Attribute{Name: "age", Role: repro.QuasiIdentifier, Kind: repro.Numeric},
+		repro.Attribute{Name: "zip", Role: repro.QuasiIdentifier, Kind: repro.Numeric},
+		repro.Attribute{Name: "visit_day", Role: repro.QuasiIdentifier, Kind: repro.Numeric},
+		repro.Attribute{Name: "diagnosis", Role: repro.Confidential, Kind: repro.Categorical},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := repro.NewTable(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Diagnoses with a skewed frequency profile: age correlates with the
+	// diagnosis mix, so naive QI clustering would leak it.
+	diagnoses := []string{"hypertension", "influenza", "diabetes", "asthma", "fracture"}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < *n; i++ {
+		age := 18 + rng.Intn(70)
+		zip := 43001 + rng.Intn(12)
+		day := 1 + rng.Intn(365)
+		// Older patients skew toward chronic conditions.
+		var d string
+		if age > 55 {
+			d = diagnoses[rng.Intn(3)]
+		} else {
+			d = diagnoses[1+rng.Intn(4)]
+		}
+		name := fmt.Sprintf("patient-%04d", i)
+		if err := table.AppendRow(name, float64(age), float64(zip), float64(day), d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := repro.Anonymize(table, repro.Config{
+		Algorithm: repro.Merge, // Algorithm 1 carries the guarantee for nominal EMD
+		K:         *k,
+		T:         *tl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("visits: %d, equivalence classes: %d (min size %d)\n",
+		table.Len(), len(res.Clusters), res.Sizes.Min)
+	fmt.Printf("nominal t-closeness achieved: %.4f (requested %.2f)\n", res.MaxEMD, *tl)
+	fmt.Printf("k-anonymity: %d, distinct diagnoses per class >= %d\n",
+		res.Privacy.KAnonymity, res.Privacy.LDiversity)
+	fmt.Printf("quasi-identifier utility loss (SSE): %.5f\n\n", res.SSE)
+
+	// Show the first equivalence class: identical aggregated QIs, a mix of
+	// diagnoses close to the clinic-wide distribution.
+	first := res.Clusters[0]
+	fmt.Printf("first class (%d records):\n", len(first.Rows))
+	s := res.Anonymized.Schema()
+	for _, r := range first.Rows {
+		fmt.Printf("  age=%s zip=%s day=%s diagnosis=%s\n",
+			res.Anonymized.Label(r, s.Index("age")),
+			res.Anonymized.Label(r, s.Index("zip")),
+			res.Anonymized.Label(r, s.Index("visit_day")),
+			res.Anonymized.Label(r, s.Index("diagnosis")))
+	}
+}

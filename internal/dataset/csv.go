@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV layout
+//
+// Tables round-trip through a two-header CSV format: the first row holds
+// attribute names, the second row holds "role:kind" descriptors (e.g.
+// "quasi-identifier:numeric", "confidential:categorical"), and every
+// subsequent row is one record. This keeps files self-describing so the
+// cmd/tcm tool needs no side-channel schema file.
+
+// WriteCSV encodes the table to w in the two-header CSV format.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	desc := make([]string, t.schema.Len())
+	for i := 0; i < t.schema.Len(); i++ {
+		a := t.schema.Attr(i)
+		desc[i] = a.Role.String() + ":" + a.Kind.String()
+	}
+	if err := cw.Write(desc); err != nil {
+		return fmt.Errorf("dataset: writing schema row: %w", err)
+	}
+	rec := make([]string, t.schema.Len())
+	for r := 0; r < t.rows; r++ {
+		for c := 0; c < t.schema.Len(); c++ {
+			if t.schema.Attr(c).Kind == Categorical {
+				rec[c] = t.Label(r, c)
+			} else {
+				rec[c] = strconv.FormatFloat(t.cols[c][r], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a table from r in the two-header CSV format produced by
+// WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	names, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	descs, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading schema row: %w", err)
+	}
+	if len(descs) != len(names) {
+		return nil, fmt.Errorf("dataset: schema row has %d fields, header has %d",
+			len(descs), len(names))
+	}
+	attrs := make([]Attribute, len(names))
+	for i, d := range descs {
+		role, kind, err := parseDescriptor(d)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column %q: %w", names[i], err)
+		}
+		attrs[i] = Attribute{Name: names[i], Role: role, Kind: kind}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]any, len(attrs))
+	line := 2
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading line %d: %w", line, err)
+		}
+		if len(rec) != len(attrs) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d",
+				line, len(rec), len(attrs))
+		}
+		for i, field := range rec {
+			if attrs[i].Kind == Categorical {
+				row[i] = field
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d, column %q: %w",
+					line, attrs[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := t.AppendRow(row...); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}
+
+func parseDescriptor(d string) (Role, Kind, error) {
+	parts := strings.SplitN(d, ":", 2)
+	role, err := ParseRole(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	kind := Numeric
+	if len(parts) == 2 {
+		kind, err = ParseKind(parts[1])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return role, kind, nil
+}

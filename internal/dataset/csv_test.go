@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func csvFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "city", Role: QuasiIdentifier, Kind: Categorical},
+		Attribute{Name: "salary", Role: Confidential, Kind: Numeric},
+	))
+	rows := []struct {
+		age    float64
+		city   string
+		salary float64
+	}{
+		{34, "tarragona", 30000.5},
+		{51, "barcelona", 42000},
+		{29, "tarragona", 27000},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r.age, r.city, r.salary); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := csvFixture(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Schema().Equal(tbl.Schema()) {
+		t.Fatal("schema did not survive round trip")
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("row count %d != %d", back.Len(), tbl.Len())
+	}
+	for r := 0; r < tbl.Len(); r++ {
+		for c := 0; c < tbl.Width(); c++ {
+			if back.Label(r, c) != tbl.Label(r, c) {
+				t.Errorf("cell (%d,%d): %q != %q", r, c, back.Label(r, c), tbl.Label(r, c))
+			}
+		}
+	}
+}
+
+func TestCSVHeaderContents(t *testing.T) {
+	tbl := csvFixture(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if lines[0] != "age,city,salary" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "quasi-identifier:numeric,quasi-identifier:categorical,confidential:numeric" {
+		t.Errorf("schema row = %q", lines[1])
+	}
+}
+
+func TestReadCSVDefaultsToNumeric(t *testing.T) {
+	in := "a,b\nqi,confidential\n1,2\n"
+	tbl, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema().Attr(0).Kind != Numeric {
+		t.Error("kind should default to numeric")
+	}
+	if tbl.Value(0, 1) != 2 {
+		t.Errorf("value = %v", tbl.Value(0, 1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":        "",
+		"missing schema row": "a,b\n",
+		"bad role":           "a,b\nwizard,confidential\n1,2\n",
+		"bad kind":           "a,b\nqi:blob,confidential\n1,2\n",
+		"non-numeric value":  "a,b\nqi,confidential\n1,oops\n",
+		"short data row":     "a,b\nqi,confidential\n1\n",
+		"schema/header skew": "a,b\nqi\n1,2\n",
+		"duplicate names":    "a,a\nqi,confidential\n1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVEmptyTableIsFine(t *testing.T) {
+	in := "a,b\nqi,confidential\n"
+	tbl, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	// Random numeric tables must round-trip exactly: float64 values survive
+	// the 'g'/-1 formatting, and schema roles/kinds are preserved.
+	f := func(vals []float64, qiCount uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		cols := 1 + int(qiCount)%3
+		rows := len(vals) / (cols + 1)
+		if rows == 0 {
+			return true
+		}
+		attrs := make([]Attribute, 0, cols+1)
+		for i := 0; i < cols; i++ {
+			attrs = append(attrs, Attribute{
+				Name: "q" + string(rune('0'+i)), Role: QuasiIdentifier, Kind: Numeric,
+			})
+		}
+		attrs = append(attrs, Attribute{Name: "c", Role: Confidential, Kind: Numeric})
+		tbl := MustTable(MustSchema(attrs...))
+		row := make([]float64, cols+1)
+		for r := 0; r < rows; r++ {
+			for j := range row {
+				row[j] = vals[(r*(cols+1)+j)%len(vals)]
+			}
+			if err := tbl.AppendNumericRow(row...); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tbl.Len() || !back.Schema().Equal(tbl.Schema()) {
+			return false
+		}
+		for r := 0; r < tbl.Len(); r++ {
+			for c := 0; c < tbl.Width(); c++ {
+				if back.Value(r, c) != tbl.Value(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVNeverPanics(t *testing.T) {
+	// Arbitrary byte soup must produce an error or a table, never a panic.
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadCSV panicked on %q: %v", raw, r)
+			}
+		}()
+		_, _ = ReadCSV(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

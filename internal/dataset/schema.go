@@ -1,0 +1,245 @@
+// Package dataset implements the microdata table substrate used by the
+// t-closeness microaggregation algorithms.
+//
+// A microdata set is modeled, as in the paper, as a table T(A1,...,Am) with n
+// records, where each attribute is classified by its disclosiveness into one
+// of four roles: identifier, quasi-identifier, confidential, or
+// non-confidential. The package provides typed columnar storage, CSV
+// encoding/decoding, summary statistics (mean, standard deviation, Pearson
+// correlation), min-max normalization for distance computations, and ranking
+// of confidential attribute values as required by the Earth Mover's Distance.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Role classifies an attribute by its disclosiveness, following the
+// classification of Hundepool et al. used in Section 2 of the paper.
+type Role int
+
+const (
+	// Identifier attributes unambiguously identify a subject (e.g. passport
+	// number). They must be removed before release and are never used by the
+	// anonymization algorithms.
+	Identifier Role = iota
+	// QuasiIdentifier attributes do not identify a subject on their own but
+	// may do so in combination (e.g. age, zip code). Microaggregation
+	// perturbs these.
+	QuasiIdentifier
+	// Confidential attributes carry the sensitive information whose
+	// disclosure t-closeness limits (e.g. salary, diagnosis).
+	Confidential
+	// NonConfidential attributes are neither identifying nor sensitive and
+	// are released unchanged.
+	NonConfidential
+)
+
+// String returns the lowercase name of the role as used in CSV schema
+// headers.
+func (r Role) String() string {
+	switch r {
+	case Identifier:
+		return "identifier"
+	case QuasiIdentifier:
+		return "quasi-identifier"
+	case Confidential:
+		return "confidential"
+	case NonConfidential:
+		return "non-confidential"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// ParseRole converts a string produced by Role.String (or common shorthand
+// like "qi") back into a Role.
+func ParseRole(s string) (Role, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "identifier", "id":
+		return Identifier, nil
+	case "quasi-identifier", "quasi_identifier", "quasiidentifier", "qi":
+		return QuasiIdentifier, nil
+	case "confidential", "sensitive", "sa":
+		return Confidential, nil
+	case "non-confidential", "non_confidential", "nonconfidential", "other":
+		return NonConfidential, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown attribute role %q", s)
+	}
+}
+
+// Kind is the value domain of an attribute.
+type Kind int
+
+const (
+	// Numeric attributes hold float64 values; distances are Euclidean and
+	// the aggregation operator is the mean.
+	Numeric Kind = iota
+	// Categorical attributes hold values from a finite dictionary. They are
+	// stored as integer codes; ordinal categorical attributes are ranked by
+	// their code order and aggregated by the median, as Section 2.3 of the
+	// paper suggests.
+	Categorical
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a string produced by Kind.String back into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "numeric", "number", "num":
+		return Numeric, nil
+	case "categorical", "cat", "string":
+		return Categorical, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown attribute kind %q", s)
+	}
+}
+
+// Attribute describes one column of a microdata table.
+type Attribute struct {
+	// Name is the column header. Names must be unique within a schema.
+	Name string
+	// Role is the disclosiveness class of the attribute.
+	Role Role
+	// Kind is the value domain of the attribute.
+	Kind Kind
+}
+
+// Schema is an immutable ordered list of attributes describing a table
+// layout. Construct one with NewSchema; the zero value is an empty schema.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// ErrEmptySchema is returned when a schema with no attributes is used where
+// at least one attribute is required.
+var ErrEmptySchema = errors.New("dataset: schema has no attributes")
+
+// NewSchema builds a Schema from the given attributes. It returns an error
+// if two attributes share a name or any name is empty.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, ErrEmptySchema
+	}
+	s := &Schema{
+		attrs:  make([]Attribute, len(attrs)),
+		byName: make(map[string]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in tests and examples.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the attribute at position i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Index returns the position of the attribute with the given name, or -1 if
+// absent.
+func (s *Schema) Index(name string) int {
+	if s.byName == nil {
+		return -1
+	}
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Indices returns the positions of all attributes with the given role, in
+// schema order.
+func (s *Schema) Indices(role Role) []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.Role == role {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// QuasiIdentifiers returns the positions of the quasi-identifier attributes.
+func (s *Schema) QuasiIdentifiers() []int { return s.Indices(QuasiIdentifier) }
+
+// Confidentials returns the positions of the confidential attributes.
+func (s *Schema) Confidentials() []int { return s.Indices(Confidential) }
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Validate checks that the schema is usable for k-anonymous t-close
+// anonymization: it must contain at least one quasi-identifier and at least
+// one confidential attribute.
+func (s *Schema) Validate() error {
+	if s.Len() == 0 {
+		return ErrEmptySchema
+	}
+	if len(s.QuasiIdentifiers()) == 0 {
+		return errors.New("dataset: schema has no quasi-identifier attributes")
+	}
+	if len(s.Confidentials()) == 0 {
+		return errors.New("dataset: schema has no confidential attributes")
+	}
+	return nil
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}

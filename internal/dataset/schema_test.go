@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		Identifier:      "identifier",
+		QuasiIdentifier: "quasi-identifier",
+		Confidential:    "confidential",
+		NonConfidential: "non-confidential",
+		Role(99):        "Role(99)",
+	}
+	for role, want := range cases {
+		if got := role.String(); got != want {
+			t.Errorf("Role(%d).String() = %q, want %q", int(role), got, want)
+		}
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	cases := map[string]Role{
+		"identifier":       Identifier,
+		"ID":               Identifier,
+		"quasi-identifier": QuasiIdentifier,
+		"qi":               QuasiIdentifier,
+		"QuasiIdentifier":  QuasiIdentifier,
+		"confidential":     Confidential,
+		"sensitive":        Confidential,
+		" sa ":             Confidential,
+		"non-confidential": NonConfidential,
+		"other":            NonConfidential,
+	}
+	for in, want := range cases {
+		got, err := ParseRole(in)
+		if err != nil {
+			t.Errorf("ParseRole(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseRole(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseRole("bogus"); err == nil {
+		t.Error("ParseRole(bogus) should fail")
+	}
+}
+
+func TestRoleRoundTrip(t *testing.T) {
+	for _, r := range []Role{Identifier, QuasiIdentifier, Confidential, NonConfidential} {
+		got, err := ParseRole(r.String())
+		if err != nil || got != r {
+			t.Errorf("round trip of %v: got %v, err %v", r, got, err)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Numeric, Categorical} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip of %v: got %v, err %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) should fail")
+	}
+}
+
+func twoColSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "salary", Role: Confidential, Kind: Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaRejectsEmpty(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema should be rejected")
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	_, err := NewSchema(
+		Attribute{Name: "x", Role: QuasiIdentifier},
+		Attribute{Name: "x", Role: Confidential},
+	)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names should be rejected, got %v", err)
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema(Attribute{Name: ""}); err == nil {
+		t.Error("empty attribute name should be rejected")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := twoColSchema(t)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Attr(0).Name != "age" || s.Attr(1).Name != "salary" {
+		t.Errorf("Attr order wrong: %v", s.Attrs())
+	}
+	if i := s.Index("salary"); i != 1 {
+		t.Errorf("Index(salary) = %d, want 1", i)
+	}
+	if i := s.Index("missing"); i != -1 {
+		t.Errorf("Index(missing) = %d, want -1", i)
+	}
+	if got := s.Names(); got[0] != "age" || got[1] != "salary" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestSchemaIndices(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "ssn", Role: Identifier},
+		Attribute{Name: "age", Role: QuasiIdentifier},
+		Attribute{Name: "zip", Role: QuasiIdentifier},
+		Attribute{Name: "diag", Role: Confidential},
+		Attribute{Name: "note", Role: NonConfidential},
+	)
+	if got := s.QuasiIdentifiers(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("QuasiIdentifiers = %v", got)
+	}
+	if got := s.Confidentials(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Confidentials = %v", got)
+	}
+	if got := s.Indices(Identifier); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Indices(Identifier) = %v", got)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := twoColSchema(t).Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	noQI := MustSchema(Attribute{Name: "diag", Role: Confidential})
+	if err := noQI.Validate(); err == nil {
+		t.Error("schema without QIs should fail validation")
+	}
+	noConf := MustSchema(Attribute{Name: "age", Role: QuasiIdentifier})
+	if err := noConf.Validate(); err == nil {
+		t.Error("schema without confidential attributes should fail validation")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := twoColSchema(t)
+	b := twoColSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas should be equal")
+	}
+	c := MustSchema(
+		Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "salary", Role: QuasiIdentifier, Kind: Numeric},
+	)
+	if a.Equal(c) {
+		t.Error("schemas with different roles should differ")
+	}
+	d := MustSchema(Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric})
+	if a.Equal(d) {
+		t.Error("schemas with different lengths should differ")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on invalid input")
+		}
+	}()
+	MustSchema()
+}

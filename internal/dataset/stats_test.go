@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(vals); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(vals); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+	// Median must not reorder its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("Pearson with constant input = %v, want 0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		x, y := xs[:n], ys[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+				return true
+			}
+			// Extreme magnitudes overflow the intermediate products.
+			if math.Abs(x[i]) > 1e150 || math.Abs(y[i]) > 1e150 {
+				return true
+			}
+		}
+		r, err := Pearson(x, y)
+		if err != nil {
+			return false
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "c", Role: Confidential, Kind: Numeric},
+	))
+	for _, v := range []float64{1, 3, 3, 5} {
+		if err := tbl.AppendNumericRow(v, 2*v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tbl.Stats(0)
+	if st.Name != "a" || st.Min != 1 || st.Max != 5 || st.Mean != 3 || st.Distinct != 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestTableCorrelation(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "c", Role: Confidential, Kind: Numeric},
+	))
+	for i := 0; i < 10; i++ {
+		if err := tbl.AppendNumericRow(float64(i), float64(3*i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := tbl.Correlation(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Correlation = %v, want 1", r)
+	}
+	qc, err := tbl.QIConfidentialCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qc-1) > 1e-12 {
+		t.Errorf("QIConfidentialCorrelation = %v, want 1", qc)
+	}
+}
+
+func TestQIConfidentialCorrelationRequiresRoles(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: QuasiIdentifier, Kind: Numeric},
+	))
+	if _, err := tbl.QIConfidentialCorrelation(); err == nil {
+		t.Error("missing confidential attribute should fail")
+	}
+}

@@ -1,0 +1,425 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mixedSchema() *Schema {
+	return MustSchema(
+		Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "city", Role: QuasiIdentifier, Kind: Categorical},
+		Attribute{Name: "salary", Role: Confidential, Kind: Numeric},
+	)
+}
+
+func TestAppendNumericRow(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: Confidential, Kind: Numeric},
+	))
+	if err := tbl.AppendNumericRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendNumericRow(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 || tbl.Width() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", tbl.Len(), tbl.Width())
+	}
+	if got := tbl.Value(1, 0); got != 3 {
+		t.Errorf("Value(1,0) = %v, want 3", got)
+	}
+}
+
+func TestAppendNumericRowErrors(t *testing.T) {
+	tbl := MustTable(mixedSchema())
+	if err := tbl.AppendNumericRow(1, 2, 3); err == nil {
+		t.Error("numeric row into categorical column should fail")
+	}
+	if err := tbl.AppendNumericRow(1); err == nil {
+		t.Error("short row should fail")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("failed appends must not grow the table, len = %d", tbl.Len())
+	}
+}
+
+func TestAppendRowMixed(t *testing.T) {
+	tbl := MustTable(mixedSchema())
+	if err := tbl.AppendRow(34.0, "tarragona", 30000.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow(51, "barcelona", 42000.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow(29.0, "tarragona", 27000.0); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tbl.Len())
+	}
+	if got := tbl.Label(0, 1); got != "tarragona" {
+		t.Errorf("Label(0,1) = %q", got)
+	}
+	if got := tbl.Label(1, 1); got != "barcelona" {
+		t.Errorf("Label(1,1) = %q", got)
+	}
+	// Re-used label re-uses the code.
+	if tbl.Value(0, 1) != tbl.Value(2, 1) {
+		t.Error("identical labels should share a code")
+	}
+	if d := tbl.Dict(1); len(d) != 2 {
+		t.Errorf("dictionary = %v, want 2 entries", d)
+	}
+	if d := tbl.Dict(0); d != nil {
+		t.Errorf("numeric column dictionary should be nil, got %v", d)
+	}
+}
+
+func TestAppendRowErrors(t *testing.T) {
+	tbl := MustTable(mixedSchema())
+	if err := tbl.AppendRow("x", "y", 1.0); err == nil {
+		t.Error("string into numeric column should fail")
+	}
+	if err := tbl.AppendRow(1.0, 2.0, 3.0); err == nil {
+		t.Error("number into categorical column should fail")
+	}
+	if err := tbl.AppendRow(1.0, "a", 3.0, 4.0); err == nil {
+		t.Error("wide row should fail")
+	}
+	if err := tbl.AppendRow(1.0, struct{}{}, 3.0); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("failed appends must not grow the table, len = %d", tbl.Len())
+	}
+}
+
+func TestLabelNumericFormatting(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: Confidential, Kind: Numeric},
+	))
+	if err := tbl.AppendNumericRow(42, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Label(0, 0); got != "42" {
+		t.Errorf("integer label = %q, want 42", got)
+	}
+	if got := tbl.Label(0, 1); got != "3.25" {
+		t.Errorf("float label = %q, want 3.25", got)
+	}
+}
+
+func TestRowAndColumn(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: Confidential, Kind: Numeric},
+	))
+	for i := 0; i < 4; i++ {
+		if err := tbl.AppendNumericRow(float64(i), float64(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	row := tbl.Row(2)
+	if row[0] != 2 || row[1] != 20 {
+		t.Errorf("Row(2) = %v", row)
+	}
+	col := tbl.Column(1)
+	if len(col) != 4 || col[3] != 30 {
+		t.Errorf("Column(1) = %v", col)
+	}
+	// Column returns a copy: mutating it must not affect the table.
+	col[0] = 999
+	if tbl.Value(0, 1) == 999 {
+		t.Error("Column must return a copy")
+	}
+	// ColumnView is live.
+	view := tbl.ColumnView(1)
+	if &view[0] != &tbl.cols[1][0] {
+		t.Error("ColumnView must alias the backing store")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tbl := MustTable(mixedSchema())
+	if err := tbl.AppendRow(1.0, "a", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Clone()
+	c.SetValue(0, 0, 99)
+	if err := c.AppendRow(5.0, "b", 6.0); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Value(0, 0) != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	if tbl.Len() != 1 {
+		t.Error("clone append leaked into original")
+	}
+	if len(tbl.Dict(1)) != 1 {
+		t.Error("clone dictionary growth leaked into original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: Confidential, Kind: Numeric},
+	))
+	for i := 0; i < 5; i++ {
+		if err := tbl.AppendNumericRow(float64(i), float64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := tbl.Subset([]int{4, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("subset len = %d", s.Len())
+	}
+	if s.Value(0, 0) != 4 || s.Value(1, 0) != 0 || s.Value(2, 0) != 2 {
+		t.Errorf("subset rows wrong: %v %v %v", s.Value(0, 0), s.Value(1, 0), s.Value(2, 0))
+	}
+	if _, err := tbl.Subset([]int{7}); err == nil {
+		t.Error("out-of-range subset should fail")
+	}
+	if _, err := tbl.Subset([]int{-1}); err == nil {
+		t.Error("negative subset index should fail")
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: Confidential, Kind: Numeric},
+	))
+	if err := tbl.AppendNumericRow(1, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err == nil {
+		t.Error("NaN value should fail validation")
+	}
+}
+
+func TestValidateRejectsInf(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: Confidential, Kind: Numeric},
+	))
+	if err := tbl.AppendNumericRow(math.Inf(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err == nil {
+		t.Error("infinite value should fail validation")
+	}
+}
+
+func TestValidateRejectsBadCategoricalCode(t *testing.T) {
+	tbl := MustTable(mixedSchema())
+	if err := tbl.AppendRow(1.0, "a", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetValue(0, 1, 7) // out of dictionary
+	if err := tbl.Validate(); err == nil {
+		t.Error("dangling categorical code should fail validation")
+	}
+}
+
+func TestValidateAcceptsGoodTable(t *testing.T) {
+	tbl := MustTable(mixedSchema())
+	if err := tbl.AppendRow(1.0, "a", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestQIMatrixNormalization(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "c", Role: Confidential, Kind: Numeric},
+	))
+	rows := [][]float64{{0, 100, 1}, {5, 200, 2}, {10, 150, 3}}
+	for _, r := range rows {
+		if err := tbl.AppendNumericRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tbl.QIMatrix()
+	if len(m) != 3 || len(m[0]) != 2 {
+		t.Fatalf("matrix dims %dx%d", len(m), len(m[0]))
+	}
+	want := [][]float64{{0, 0}, {0.5, 1}, {1, 0.5}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(m[i][j]-want[i][j]) > 1e-12 {
+				t.Errorf("m[%d][%d] = %v, want %v", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestQIMatrixConstantColumn(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "c", Role: Confidential, Kind: Numeric},
+	))
+	for i := 0; i < 3; i++ {
+		if err := tbl.AppendNumericRow(7, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tbl.QIMatrix()
+	for i := range m {
+		if m[i][0] != 0 {
+			t.Errorf("constant column should normalize to 0, got %v", m[i][0])
+		}
+	}
+}
+
+func TestQIMatrixValuesInUnitRange(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		tbl := MustTable(MustSchema(
+			Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+			Attribute{Name: "c", Role: Confidential, Kind: Numeric},
+		))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			if err := tbl.AppendNumericRow(v, 0); err != nil {
+				return false
+			}
+		}
+		for _, row := range tbl.QIMatrix() {
+			if row[0] < 0 || row[0] > 1 || math.IsNaN(row[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "c", Role: Confidential, Kind: Numeric},
+	))
+	for _, v := range []float64{5, 1, 5, 3} {
+		if err := tbl.AppendNumericRow(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ranks, distinct := tbl.Ranks(1)
+	wantDistinct := []float64{1, 3, 5}
+	if len(distinct) != 3 {
+		t.Fatalf("distinct = %v", distinct)
+	}
+	for i := range wantDistinct {
+		if distinct[i] != wantDistinct[i] {
+			t.Errorf("distinct[%d] = %v", i, distinct[i])
+		}
+	}
+	wantRanks := []int{2, 0, 2, 1}
+	for i := range wantRanks {
+		if ranks[i] != wantRanks[i] {
+			t.Errorf("ranks[%d] = %d, want %d", i, ranks[i], wantRanks[i])
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	got := Distinct([]float64{3, 1, 3, 2, 1})
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Distinct = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Distinct[%d] = %v", i, got[i])
+		}
+	}
+	if out := Distinct(nil); len(out) != 0 {
+		t.Errorf("Distinct(nil) = %v", out)
+	}
+}
+
+func TestDistinctProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		d := Distinct(vals)
+		// Sorted strictly ascending.
+		for i := 1; i < len(d); i++ {
+			if d[i-1] >= d[i] {
+				return false
+			}
+		}
+		// Every input value present.
+		for _, v := range vals {
+			found := false
+			for _, u := range d {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTableRejectsNilSchema(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Error("nil schema should be rejected")
+	}
+}
+
+func TestRedact(t *testing.T) {
+	tbl := MustTable(MustSchema(
+		Attribute{Name: "name", Role: Identifier, Kind: Categorical},
+		Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "salary", Role: Confidential, Kind: Numeric},
+	))
+	if err := tbl.AppendRow("ana", 30.0, 100.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow("bo", 40.0, 200.0); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Redact(0)
+	for r := 0; r < tbl.Len(); r++ {
+		if got := tbl.Label(r, 0); got != "*" {
+			t.Errorf("redacted label row %d = %q, want *", r, got)
+		}
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("redacted table invalid: %v", err)
+	}
+	// Numeric redaction zeroes.
+	tbl.Redact(1)
+	if tbl.Value(0, 1) != 0 || tbl.Value(1, 1) != 0 {
+		t.Error("numeric redaction should zero the column")
+	}
+}

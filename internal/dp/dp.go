@@ -1,0 +1,188 @@
+// Package dp implements the continuation the paper's conclusions point to:
+// leveraging microaggregation to implement ε-differential privacy for
+// microdata releases, following Soria-Comas, Domingo-Ferrer, Sánchez &
+// Martínez, "Enhancing data utility in differential privacy via
+// microaggregation-based k-anonymity" (VLDB Journal 2014) — reference [28]
+// of the paper.
+//
+// The mechanism: first microaggregate the quasi-identifiers into clusters
+// of at least k records using an *insensitive* partition (one whose cluster
+// composition changes by at most one record when any single input record
+// changes), then release each cluster centroid with Laplace noise
+// calibrated to the centroid's sensitivity. Because a centroid averages at
+// least k records, one record changes it by at most Δ/k per attribute
+// (value range Δ), so the noise scale shrinks by a factor k compared to
+// releasing record-level data — microaggregation buys utility under the
+// same ε.
+//
+// The insensitive partition used here assigns rank-sorted runs of k records
+// along a fixed ordering of the normalized quasi-identifier space (the
+// single-axis projection insensitive microaggregation of [28]); moving one
+// input record shifts each boundary by at most one position, which keeps
+// the end-to-end release ε-differentially private with per-cluster
+// sensitivity (one record affects at most two clusters, which the epsilon
+// budget below accounts for by splitting ε across attributes with the
+// composed 2/k per-attribute centroid sensitivity).
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// Result is a differentially private release.
+type Result struct {
+	// Anonymized is the noisy centroid release: every record carries its
+	// cluster's noisy quasi-identifier centroid. Confidential attributes
+	// are NOT released record-wise (that would break differential privacy);
+	// they are replaced by their noisy cluster means as well.
+	Anonymized *dataset.Table
+	// Clusters is the insensitive partition used.
+	Clusters []micro.Cluster
+	// Epsilon is the total privacy budget spent.
+	Epsilon float64
+	// NoiseScale maps each perturbed column index to the Laplace scale b
+	// used for it.
+	NoiseScale map[int]float64
+}
+
+// Anonymize produces an ε-differentially private release of the table
+// using insensitive microaggregation with minimum cluster size k. The seed
+// fixes the noise stream for reproducible experiments (production use
+// should derive it from a secure source).
+func Anonymize(t *dataset.Table, k int, epsilon float64, seed int64) (*Result, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, errors.New("dp: data set has no records")
+	}
+	if err := t.Schema().Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, errors.New("dp: k must be at least 1")
+	}
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("dp: epsilon must be positive, got %v", epsilon)
+	}
+	for c := 0; c < t.Width(); c++ {
+		a := t.Schema().Attr(c)
+		if a.Role != dataset.Identifier && a.Kind != dataset.Numeric {
+			return nil, fmt.Errorf("dp: attribute %q: only numeric attributes can be released under differential privacy here", a.Name)
+		}
+	}
+	clusters := insensitivePartition(t, k)
+	// Perturb every released numeric column: quasi-identifiers,
+	// confidential and non-confidential alike (differential privacy makes
+	// no QI/confidential distinction — everything released must be noisy).
+	cols := releasedColumns(t)
+	// Budget split evenly across released attributes. Each record belongs
+	// to one cluster, but in the insensitive partition a change of one
+	// record shifts each run boundary by at most one position, affecting at
+	// most two adjacent clusters; the per-attribute centroid sensitivity is
+	// therefore 2·Δ/k.
+	epsPer := epsilon / float64(len(cols))
+	rng := rand.New(rand.NewSource(seed))
+	out := t.Clone()
+	scales := make(map[int]float64, len(cols))
+	for _, c := range cols {
+		st := t.Stats(c)
+		delta := st.Max - st.Min
+		if delta == 0 {
+			scales[c] = 0
+			continue
+		}
+		b := 2 * delta / (float64(k) * epsPer)
+		scales[c] = b
+		for _, cl := range clusters {
+			mean := 0.0
+			for _, r := range cl.Rows {
+				mean += t.Value(r, c)
+			}
+			mean /= float64(len(cl.Rows))
+			noisy := mean + laplace(rng, b)
+			for _, r := range cl.Rows {
+				out.SetValue(r, c, noisy)
+			}
+		}
+	}
+	for _, c := range t.Schema().Indices(dataset.Identifier) {
+		out.Redact(c)
+	}
+	return &Result{
+		Anonymized: out,
+		Clusters:   clusters,
+		Epsilon:    epsilon,
+		NoiseScale: scales,
+	}, nil
+}
+
+// insensitivePartition orders the records along the first principal
+// normalized quasi-identifier axis (sum of normalized QI coordinates, a
+// fixed data-independent projection) and cuts the order into consecutive
+// runs of k (the last run absorbs the remainder). Changing one input record
+// moves every cut boundary by at most one position.
+func insensitivePartition(t *dataset.Table, k int) []micro.Cluster {
+	n := t.Len()
+	points := t.QIMatrix()
+	score := make([]float64, n)
+	for i, p := range points {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		score[i] = s
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if score[order[a]] != score[order[b]] {
+			return score[order[a]] < score[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	var clusters []micro.Cluster
+	for start := 0; start < n; start += k {
+		end := start + k
+		if n-end < k {
+			end = n
+		}
+		rows := append([]int(nil), order[start:end]...)
+		clusters = append(clusters, micro.Cluster{Rows: rows})
+		if end == n {
+			break
+		}
+	}
+	return clusters
+}
+
+// releasedColumns returns every non-identifier column (all numeric by the
+// precondition in Anonymize).
+func releasedColumns(t *dataset.Table) []int {
+	var cols []int
+	for c := 0; c < t.Width(); c++ {
+		if t.Schema().Attr(c).Role != dataset.Identifier {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// laplace draws from the Laplace distribution with mean 0 and scale b via
+// inverse-CDF sampling.
+func laplace(rng *rand.Rand, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -b * math.Log(1-2*u)
+	}
+	return b * math.Log(1+2*u)
+}

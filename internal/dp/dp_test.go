@@ -1,0 +1,192 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/privacy"
+	"repro/internal/synth"
+)
+
+func TestAnonymizeValidation(t *testing.T) {
+	tbl := synth.Uniform(30, 2, 1)
+	if _, err := Anonymize(nil, 2, 1, 1); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, err := Anonymize(tbl, 0, 1, 1); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := Anonymize(tbl, 2, 0, 1); err == nil {
+		t.Error("epsilon = 0 should fail")
+	}
+	cat := dataset.MustTable(dataset.MustSchema(
+		dataset.Attribute{Name: "city", Role: dataset.QuasiIdentifier, Kind: dataset.Categorical},
+		dataset.Attribute{Name: "s", Role: dataset.Confidential, Kind: dataset.Numeric},
+	))
+	if err := cat.AppendRow("a", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anonymize(cat, 1, 1, 1); err == nil {
+		t.Error("categorical released attribute should be rejected")
+	}
+}
+
+func TestAnonymizePartitionAndKAnonymity(t *testing.T) {
+	tbl := synth.Census(200, synth.FedTax, 3)
+	for _, k := range []int{2, 5, 11} {
+		res, err := Anonymize(tbl, k, 1.0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := micro.CheckPartition(res.Clusters, tbl.Len(), k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Every record in a cluster shares its noisy centroid, so the
+		// release is k-anonymous on the quasi-identifiers (noise is added
+		// per cluster, not per record).
+		ka, err := privacy.KAnonymity(res.Anonymized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ka < k {
+			t.Errorf("k=%d: released k-anonymity %d", k, ka)
+		}
+	}
+}
+
+func TestInsensitivePartitionStability(t *testing.T) {
+	// The defining property: changing one record's values moves every run
+	// boundary by at most one position, so cluster memberships differ by a
+	// bounded number of records.
+	tbl := synth.Uniform(60, 2, 9)
+	before := insensitivePartition(tbl, 5)
+	mod := tbl.Clone()
+	mod.SetValue(17, 0, mod.Value(17, 0)+0.9)
+	after := insensitivePartition(mod, 5)
+	if len(before) != len(after) {
+		t.Fatalf("cluster count changed: %d vs %d", len(before), len(after))
+	}
+	// Each cluster's membership changes by at most 2 records (the moved
+	// record leaving/arriving plus one boundary shift).
+	for i := range before {
+		b := map[int]bool{}
+		for _, r := range before[i].Rows {
+			b[r] = true
+		}
+		diff := 0
+		for _, r := range after[i].Rows {
+			if !b[r] {
+				diff++
+			}
+		}
+		if diff > 2 {
+			t.Errorf("cluster %d changed by %d records; insensitivity violated", i, diff)
+		}
+	}
+}
+
+func TestNoiseScaleShrinksWithK(t *testing.T) {
+	tbl := synth.Census(300, synth.FedTax, 5)
+	r2, err := Anonymize(tbl, 2, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r20, err := Anonymize(tbl, 20, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, b2 := range r2.NoiseScale {
+		if b20 := r20.NoiseScale[c]; b20 >= b2 {
+			t.Errorf("column %d: noise scale %v at k=20 not below %v at k=2", c, b20, b2)
+		}
+	}
+}
+
+func TestUtilityImprovesWithK(t *testing.T) {
+	// The headline of the follow-up paper: at fixed epsilon, larger k
+	// (more microaggregation) means less noise and better utility, up to
+	// the point where cluster coarseness dominates. Compare k=1 (plain
+	// per-record Laplace... here per-singleton-cluster) with k=20.
+	tbl := synth.Census(500, synth.FedTax, 11)
+	err1 := releaseError(t, tbl, 1)
+	err20 := releaseError(t, tbl, 20)
+	if err20 >= err1 {
+		t.Errorf("k=20 release error %v not below k=1 error %v", err20, err1)
+	}
+}
+
+func releaseError(t *testing.T, tbl *dataset.Table, k int) float64 {
+	t.Helper()
+	res, err := Anonymize(tbl, k, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	count := 0
+	for c := 0; c < tbl.Width(); c++ {
+		st := tbl.Stats(c)
+		rng := st.Max - st.Min
+		if rng == 0 {
+			continue
+		}
+		for r := 0; r < tbl.Len(); r++ {
+			d := (tbl.Value(r, c) - res.Anonymized.Value(r, c)) / rng
+			total += d * d
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 200000
+	b := 2.0
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := laplace(rng, b)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(0, b).
+	if math.Abs(meanAbs-b) > 0.05 {
+		t.Errorf("Laplace E|X| = %v, want %v", meanAbs, b)
+	}
+	if laplace(rng, 0) != 0 {
+		t.Error("zero scale should give zero noise")
+	}
+}
+
+func TestAnonymizeDeterministicForSeed(t *testing.T) {
+	tbl := synth.Uniform(50, 2, 13)
+	a, err := Anonymize(tbl, 5, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anonymize(tbl, 5, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tbl.Len(); r++ {
+		for c := 0; c < tbl.Width(); c++ {
+			if a.Anonymized.Value(r, c) != b.Anonymized.Value(r, c) {
+				t.Fatal("same seed must give the same release")
+			}
+		}
+	}
+	c, err := Anonymize(tbl, 5, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Anonymized.Value(0, 0) == a.Anonymized.Value(0, 0) {
+		t.Error("different seeds should give different noise")
+	}
+}

@@ -1,0 +1,132 @@
+package emd
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements the analytic results of Section 7 of the paper:
+// Proposition 1 (a tight lower bound on the EMD of any k-record cluster),
+// Proposition 2 (an upper bound on the EMD of clusters drawing one record
+// from each of k rank-sorted subsets), Eq. (3) (the minimum cluster size
+// that guarantees t-closeness under Proposition 2), and Eq. (4) (the
+// cluster-size adjustment when k does not divide n).
+
+// MinClusterEMD returns the Proposition 1 lower bound on the Earth Mover's
+// Distance between any cluster of size k and a data set of n records:
+//
+//	EMD >= (n+k)(n-k) / (4n(n-1)k)
+//
+// The bound is tight when k divides n. It is 0 when k >= n (the cluster is
+// the whole data set) and undefined (returns 0) for degenerate n < 2.
+func MinClusterEMD(n, k int) float64 {
+	if n < 2 || k <= 0 || k >= n {
+		return 0
+	}
+	nf, kf := float64(n), float64(k)
+	return (nf + kf) * (nf - kf) / (4 * nf * (nf - 1) * kf)
+}
+
+// MaxSpreadClusterEMD returns the Proposition 2 upper bound on the EMD of a
+// cluster built by taking exactly one record from each of k subsets of n/k
+// records sorted by confidential-attribute rank:
+//
+//	EMD <= (n-k) / (2(n-1)k)
+//
+// It is 0 when k >= n and 0 for degenerate n < 2.
+func MaxSpreadClusterEMD(n, k int) float64 {
+	if n < 2 || k <= 0 || k >= n {
+		return 0
+	}
+	nf, kf := float64(n), float64(k)
+	return (nf - kf) / (2 * (nf - 1) * kf)
+}
+
+// MaxSpreadClusterEMDUneven bounds the EMD of the oversized clusters that
+// appear when k does not divide n: a cluster with k+1 records, one from each
+// of k rank subsets plus a second from a central subset (Figures 3-4 of the
+// paper). The paper notes the exact formulas are "tedious and unwieldy" and
+// uses the Proposition 2 bound as an approximation; this function provides a
+// rigorous (if loose) bound by adding the worst-case cost of re-balancing
+// the extra record's probability mass across subsets:
+//
+//	EMD <= (n-k)/(2(n-1)k)  +  (k-1)n / (4k²(n-1))
+//
+// The first term is the Proposition 2 within-subset spreading cost; the
+// second bounds the between-subset transport of the central subset's surplus
+// mass (k-1)/(k(k+1)), accumulated over at most (k-1)/2 subset hops of
+// ordered distance (n/k)/(n-1) each.
+func MaxSpreadClusterEMDUneven(n, k int) float64 {
+	if n < 2 || k <= 0 || k >= n {
+		return 0
+	}
+	nf, kf := float64(n), float64(k)
+	rebalance := (kf - 1) * nf / (4 * kf * kf * (nf - 1))
+	return MaxSpreadClusterEMD(n, k) + rebalance
+}
+
+// ErrBadT is returned when a t-closeness level outside (0, +inf) is given.
+var ErrBadT = errors.New("emd: t-closeness level must be positive")
+
+// RequiredClusterSize returns the Eq. (3) cluster size for Algorithm 3: the
+// smallest cluster size that simultaneously satisfies the k-anonymity
+// parameter k and, via the Proposition 2 bound, the t-closeness parameter t
+// on a data set of n records:
+//
+//	max{ k, ceil( n / (2(n-1)t + 1) ) }
+//
+// The result is capped at n (a single cluster containing the whole data set
+// always satisfies t-closeness with EMD 0).
+func RequiredClusterSize(n, k int, t float64) (int, error) {
+	if t <= 0 {
+		return 0, ErrBadT
+	}
+	if n <= 0 {
+		return 0, errors.New("emd: data set size must be positive")
+	}
+	if k < 1 {
+		k = 1
+	}
+	need := int(math.Ceil(float64(n) / (2*float64(n-1)*t + 1)))
+	size := k
+	if need > size {
+		size = need
+	}
+	if size > n {
+		size = n
+	}
+	return size, nil
+}
+
+// AdjustClusterSize applies the Eq. (4) remainder adjustment of Algorithm 3.
+// With cluster size k on n records, r = n mod k records remain after forming
+// floor(n/k) rank subsets; the construction can absorb at most one extra
+// record per generated cluster, which requires r <= floor(n/k). When that
+// fails, the paper increases k by floor(r / floor(n/k)); because a single
+// application of the formula can leave a remainder that still violates the
+// requirement, AdjustClusterSize iterates (increasing k by at least one per
+// round) until r <= floor(n/k) holds. The result never exceeds n.
+func AdjustClusterSize(n, k int) int {
+	if k >= n {
+		return n
+	}
+	if k < 1 {
+		k = 1
+	}
+	for k < n {
+		groups := n / k
+		r := n % k
+		if r <= groups {
+			break
+		}
+		inc := r / groups
+		if inc < 1 {
+			inc = 1
+		}
+		k += inc
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,361 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinClusterEMDFormula(t *testing.T) {
+	// (n+k)(n-k)/(4n(n-1)k) for a few hand values.
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{n: 4, k: 2, want: 6.0 * 2.0 / (4 * 4 * 3 * 2)},
+		{n: 10, k: 5, want: 15.0 * 5.0 / (4 * 10 * 9 * 5)},
+		{n: 1080, k: 2, want: 1082.0 * 1078.0 / (4 * 1080 * 1079 * 2)},
+	}
+	for _, c := range cases {
+		if got := MinClusterEMD(c.n, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinClusterEMD(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestMinClusterEMDDegenerate(t *testing.T) {
+	if MinClusterEMD(10, 10) != 0 {
+		t.Error("k = n should give 0")
+	}
+	if MinClusterEMD(10, 20) != 0 {
+		t.Error("k > n should give 0")
+	}
+	if MinClusterEMD(1, 1) != 0 {
+		t.Error("n < 2 should give 0")
+	}
+	if MinClusterEMD(10, 0) != 0 {
+		t.Error("k = 0 should give 0")
+	}
+}
+
+// TestProposition1Tight verifies the bound is tight when k divides n: the
+// cluster that takes the median of each of the k groups of n/k consecutive
+// ranks achieves exactly the Proposition 1 EMD (when n/k is odd, so the
+// median is unambiguous).
+func TestProposition1Tight(t *testing.T) {
+	cases := []struct{ n, k int }{{9, 3}, {15, 3}, {25, 5}, {49, 7}, {81, 9}}
+	for _, c := range cases {
+		vals := make([]float64, c.n)
+		for i := range vals {
+			vals[i] = float64(i) // all distinct: rank == index
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.n / c.k
+		rows := make([]int, c.k)
+		for i := 0; i < c.k; i++ {
+			rows[i] = i*g + (g-1)/2 // median of the i-th group (g odd)
+		}
+		got := s.EMDOf(rows)
+		want := MinClusterEMD(c.n, c.k)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d k=%d: median-cluster EMD %v != bound %v", c.n, c.k, got, want)
+		}
+	}
+}
+
+// TestProposition1LowerBound: no random cluster of size k may beat the
+// Proposition 1 lower bound.
+func TestProposition1LowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s, err := NewSpace(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(n/2)
+		if n%k != 0 {
+			continue // bound is only guaranteed tight/valid when k | n
+		}
+		rows := rng.Perm(n)[:k]
+		if d, bound := s.EMDOf(rows), MinClusterEMD(n, k); d < bound-1e-9 {
+			t.Fatalf("cluster %v has EMD %v below bound %v (k=%d)", rows, d, bound, k)
+		}
+	}
+}
+
+func TestMaxSpreadClusterEMDFormula(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{n: 4, k: 2, want: 2.0 / (2 * 3 * 2)},
+		{n: 1080, k: 2, want: 1078.0 / (2 * 1079 * 2)},
+		{n: 1080, k: 30, want: 1050.0 / (2 * 1079 * 30)},
+	}
+	for _, c := range cases {
+		if got := MaxSpreadClusterEMD(c.n, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MaxSpreadClusterEMD(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// TestProposition2UpperBound: every cluster built with exactly one record
+// from each of k rank-consecutive subsets stays within the Proposition 2
+// bound, whatever record is chosen from each subset.
+func TestProposition2UpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(8)
+		g := 1 + rng.Intn(9)
+		n := k * g
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() // arbitrary values; ranks matter
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Order records by value to form the rank subsets.
+		order := rng.Perm(n)
+		sortByValue(order, vals)
+		rows := make([]int, k)
+		for i := 0; i < k; i++ {
+			rows[i] = order[i*g+rng.Intn(g)]
+		}
+		bound := MaxSpreadClusterEMD(n, k)
+		if d := s.EMDOf(rows); d > bound+1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d): spread cluster EMD %v exceeds bound %v",
+				trial, n, k, d, bound)
+		}
+	}
+}
+
+// TestProposition2Extremal: taking the minimum of each subset attains
+// exactly the bound when all values are distinct.
+func TestProposition2Extremal(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{12, 3}, {20, 4}, {50, 5}} {
+		vals := make([]float64, c.n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := c.n / c.k
+		rows := make([]int, c.k)
+		for i := range rows {
+			rows[i] = i * g // minimum of each subset
+		}
+		got := s.EMDOf(rows)
+		want := MaxSpreadClusterEMD(c.n, c.k)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d k=%d: extremal EMD %v != bound %v", c.n, c.k, got, want)
+		}
+	}
+}
+
+func sortByValue(order []int, vals []float64) {
+	// insertion sort: inputs are small in these tests
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && vals[order[j]] < vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+func TestRequiredClusterSizeValidation(t *testing.T) {
+	if _, err := RequiredClusterSize(10, 2, 0); err == nil {
+		t.Error("t = 0 should fail")
+	}
+	if _, err := RequiredClusterSize(10, 2, -0.5); err == nil {
+		t.Error("negative t should fail")
+	}
+	if _, err := RequiredClusterSize(0, 2, 0.1); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}
+
+func TestRequiredClusterSizeHand(t *testing.T) {
+	// n=1080, t=0.25: ceil(1080 / (2*1079*0.25 + 1)) = ceil(1080/540.5) = 2.
+	k, err := RequiredClusterSize(1080, 2, 0.25)
+	if err != nil || k != 2 {
+		t.Errorf("k = %d, err = %v; want 2", k, err)
+	}
+	// n=1080, t=0.01: ceil(1080/22.58) = 48.
+	k, _ = RequiredClusterSize(1080, 2, 0.01)
+	if k != 48 {
+		t.Errorf("k = %d, want 48", k)
+	}
+	// k dominates when the t requirement is loose.
+	k, _ = RequiredClusterSize(1080, 30, 0.25)
+	if k != 30 {
+		t.Errorf("k = %d, want 30", k)
+	}
+}
+
+// TestRequiredClusterSizeSufficient: the returned size, plugged back into
+// the Proposition 2 bound, must meet t (that is what Algorithm 3 relies on).
+func TestRequiredClusterSizeSufficient(t *testing.T) {
+	f := func(nRaw, kRaw uint16, tRaw uint16) bool {
+		n := 2 + int(nRaw)%5000
+		k := 1 + int(kRaw)%64
+		tl := 0.001 + float64(tRaw%1000)/2000.0 // (0.001, 0.5]
+		size, err := RequiredClusterSize(n, k, tl)
+		if err != nil {
+			return false
+		}
+		if size < k && size < n {
+			return false
+		}
+		if size >= n {
+			return true // single cluster: EMD 0
+		}
+		return MaxSpreadClusterEMD(n, size) <= tl+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjustClusterSizeNoRemainder(t *testing.T) {
+	if got := AdjustClusterSize(1080, 5); got != 5 {
+		t.Errorf("k=5 divides 1080, got %d", got)
+	}
+	if got := AdjustClusterSize(1080, 7); got != 7 {
+		// 1080 mod 7 = 2 <= 154: no adjustment.
+		t.Errorf("AdjustClusterSize(1080,7) = %d, want 7", got)
+	}
+}
+
+func TestAdjustClusterSizeRemainderTooLarge(t *testing.T) {
+	// n=10, k=6: groups=1, r=4 > 1 -> must grow. After adjustment the
+	// invariant r <= floor(n/k) holds.
+	got := AdjustClusterSize(10, 6)
+	if got < 6 || got > 10 {
+		t.Fatalf("AdjustClusterSize(10,6) = %d out of range", got)
+	}
+	if r, g := 10%got, 10/got; got < 10 && r > g {
+		t.Errorf("invariant violated: k=%d r=%d groups=%d", got, r, g)
+	}
+}
+
+func TestAdjustClusterSizeInvariant(t *testing.T) {
+	f := func(nRaw, kRaw uint16) bool {
+		n := 1 + int(nRaw)%3000
+		k := 1 + int(kRaw)%200
+		got := AdjustClusterSize(n, k)
+		if got < 1 || got > n {
+			return false
+		}
+		if got < k && k <= n {
+			return false // adjustment never shrinks k below the request
+		}
+		if got == n {
+			return true
+		}
+		return n%got <= n/got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSpreadDecreasingInK(t *testing.T) {
+	// Larger clusters spread over more subsets are closer to the data set
+	// distribution: the bound must decrease monotonically in k.
+	n := 1080
+	prev := math.Inf(1)
+	for k := 1; k <= n; k++ {
+		b := MaxSpreadClusterEMD(n, k)
+		if b > prev+1e-15 {
+			t.Fatalf("bound increased at k=%d: %v > %v", k, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestMaxSpreadUnevenBound: clusters of size k+1 with two records from a
+// central subset must respect the uneven-case bound for every choice of
+// records.
+func TestMaxSpreadUnevenBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		k := 3 + rng.Intn(8)
+		g := 2 + rng.Intn(8)
+		r := 1 + rng.Intn(min2(g, k/2)) // extras, <= groups
+		n := k*g + r
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := rng.Perm(n)
+		sortByValue(order, vals)
+		// Subset sizes: g everywhere, extras in the central subset.
+		sizes := make([]int, k)
+		for i := range sizes {
+			sizes[i] = g
+		}
+		sizes[k/2] += r
+		starts := make([]int, k)
+		for i := 1; i < k; i++ {
+			starts[i] = starts[i-1] + sizes[i-1]
+		}
+		// A cluster with one random record per subset, two from the center.
+		rows := make([]int, 0, k+1)
+		for i := 0; i < k; i++ {
+			rows = append(rows, order[starts[i]+rng.Intn(sizes[i])])
+		}
+		for {
+			extra := order[starts[k/2]+rng.Intn(sizes[k/2])]
+			dup := false
+			for _, x := range rows {
+				if x == extra {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				rows = append(rows, extra)
+				break
+			}
+		}
+		bound := MaxSpreadClusterEMDUneven(n, k)
+		if d := s.EMDOf(rows); d > bound+1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d r=%d): EMD %v exceeds uneven bound %v",
+				trial, n, k, r, d, bound)
+		}
+	}
+}
+
+func TestMaxSpreadUnevenExceedsEven(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{102, 25}, {1081, 10}, {50, 7}} {
+		if MaxSpreadClusterEMDUneven(c.n, c.k) <= MaxSpreadClusterEMD(c.n, c.k) {
+			t.Errorf("uneven bound must exceed even bound for n=%d k=%d", c.n, c.k)
+		}
+	}
+	if MaxSpreadClusterEMDUneven(10, 10) != 0 {
+		t.Error("degenerate case should be 0")
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNominalSpaceBasics(t *testing.T) {
+	s, err := NewNominalSpace([]float64{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Nominal() {
+		t.Error("Nominal() should be true")
+	}
+	// Whole data set: distance 0.
+	if d := s.EMDOf([]int{0, 1, 2, 3}); math.Abs(d) > 1e-12 {
+		t.Errorf("whole-dataset nominal EMD = %v", d)
+	}
+	// Cluster {value 0}: p=(1,0,0), q=(1/4,1/2,1/4).
+	// TV = (3/4 + 1/2 + 1/4)/2 = 3/4.
+	if d := s.EMDOf([]int{0}); math.Abs(d-0.75) > 1e-12 {
+		t.Errorf("nominal EMD = %v, want 0.75", d)
+	}
+}
+
+func TestNominalVsOrderedDiffer(t *testing.T) {
+	// Under the ordered distance, a cluster at value 1 of {0,1,2} is close
+	// to the middle; under the nominal distance the position is irrelevant.
+	vals := []float64{0, 1, 2}
+	ord, err := NewSpace(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, err := NewNominalSpace(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := []int{1}
+	end := []int{0}
+	if ord.EMDOf(mid) >= ord.EMDOf(end) {
+		t.Error("ordered distance should favor the middle value")
+	}
+	if math.Abs(nom.EMDOf(mid)-nom.EMDOf(end)) > 1e-12 {
+		t.Error("nominal distance should be position-independent")
+	}
+}
+
+func TestNominalMatchesExplicitDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(7))
+	}
+	s, err := NewNominalSpace(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		size := 1 + rng.Intn(15)
+		rows := rng.Perm(50)[:size]
+		p := make([]float64, s.Bins())
+		for _, r := range rows {
+			p[s.Bin(r)] += 1.0 / float64(size)
+		}
+		q := make([]float64, s.Bins())
+		for b := range q {
+			q[b] = s.DatasetMass(b)
+		}
+		want, err := NominalDistance(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.EMDOf(rows); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: %v != %v", trial, got, want)
+		}
+	}
+}
+
+func TestNominalSwapConsistency(t *testing.T) {
+	s, err := NewNominalSpace([]float64{0, 1, 2, 0, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.HistOf([]int{0, 1})
+	pred := h.EMDSwap(0, 5)
+	h.Remove(0)
+	h.Add(5)
+	if math.Abs(pred-h.EMD()) > 1e-12 {
+		t.Errorf("swap prediction %v != %v", pred, h.EMD())
+	}
+}
+
+func TestNominalRange(t *testing.T) {
+	f := func(raw []float64, pick []byte) bool {
+		if len(raw) == 0 || len(pick) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		s, err := NewNominalSpace(raw)
+		if err != nil {
+			return false
+		}
+		rows := make([]int, 0, len(pick))
+		for _, b := range pick {
+			rows = append(rows, int(b)%len(raw))
+		}
+		d := s.EMDOf(rows)
+		return d >= 0 && d < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNominalDistanceValidation(t *testing.T) {
+	if _, err := NominalDistance([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	d, err := NominalDistance([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil || d != 0 {
+		t.Errorf("identity = %v, %v", d, err)
+	}
+}

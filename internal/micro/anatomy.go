@@ -1,0 +1,49 @@
+package micro
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// AnatomyRelease implements the alternative release style mentioned in
+// Section 2.3 of the paper (after Xiao & Tao's Anatomy and Soria-Comas &
+// Domingo-Ferrer's probabilistic k-anonymity): instead of replacing the
+// quasi-identifier values with cluster centroids, the original
+// quasi-identifier values are preserved and the link between them and the
+// confidential attributes is broken by randomly permuting the confidential
+// values within each cluster.
+//
+// The quasi-identifiers lose no information at all (SSE is zero), and an
+// intruder who locates a subject's record can still only associate it with
+// the within-cluster distribution of the confidential attribute — the same
+// guarantee the centroid release offers, including t-closeness, which is a
+// property of the cluster's value multiset and therefore invariant under
+// within-cluster permutation.
+//
+// seed makes the permutation deterministic for reproducible releases.
+func AnatomyRelease(t *dataset.Table, clusters []Cluster, seed int64) (*dataset.Table, error) {
+	if err := CheckPartition(clusters, t.Len(), 1); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	confs := t.Schema().Confidentials()
+	for _, c := range clusters {
+		if len(c.Rows) < 2 {
+			continue
+		}
+		// One permutation for all confidential attributes of a record, so
+		// multi-attribute correlations within a record survive.
+		perm := rng.Perm(len(c.Rows))
+		for _, col := range confs {
+			for i, r := range c.Rows {
+				out.SetValue(r, col, t.Value(c.Rows[perm[i]], col))
+			}
+		}
+	}
+	for _, col := range t.Schema().Indices(dataset.Identifier) {
+		out.Redact(col)
+	}
+	return out, nil
+}

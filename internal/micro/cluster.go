@@ -1,0 +1,277 @@
+// Package micro implements multivariate microaggregation, the perturbative
+// statistical-disclosure-control substrate on which the paper's t-closeness
+// algorithms are built.
+//
+// Microaggregation has two steps (Section 2.3 of the paper): a partition
+// step that groups the records into clusters of at least k similar records,
+// and an aggregation step that replaces each record's quasi-identifier
+// values by a cluster representative (the mean for numeric attributes, the
+// median for categorical ones). Applying it to the quasi-identifier
+// projection of a data set yields a k-anonymous data set.
+//
+// The package provides the MDAV and V-MDAV partition heuristics (optimal
+// multivariate microaggregation is NP-hard) and the aggregation step.
+package micro
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Cluster is a group of record indices that will share their aggregated
+// quasi-identifier values (an equivalence class of the k-anonymous output).
+type Cluster struct {
+	// Rows are indices into the originating table.
+	Rows []int
+}
+
+// Size returns the number of records in the cluster.
+func (c Cluster) Size() int { return len(c.Rows) }
+
+// Partition-level errors.
+var (
+	ErrBadK  = errors.New("micro: minimum cluster size k must be at least 1")
+	ErrEmpty = errors.New("micro: no records to partition")
+)
+
+// CheckPartition verifies that clusters form a partition of exactly n
+// records with no duplicates and that every cluster has at least k records
+// (except that a single cluster smaller than k is tolerated only when it is
+// the entire data set and n < k). It is used by tests and by the privacy
+// verifiers.
+func CheckPartition(clusters []Cluster, n, k int) error {
+	seen := make([]bool, n)
+	total := 0
+	for ci, c := range clusters {
+		if len(c.Rows) < k && !(len(clusters) == 1 && n < k) {
+			return fmt.Errorf("micro: cluster %d has %d records, want >= %d", ci, len(c.Rows), k)
+		}
+		for _, r := range c.Rows {
+			if r < 0 || r >= n {
+				return fmt.Errorf("micro: cluster %d contains out-of-range row %d", ci, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("micro: row %d appears in more than one cluster", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("micro: clusters cover %d of %d records", total, n)
+	}
+	return nil
+}
+
+// SizeStats summarizes the cardinalities of a set of clusters; the paper's
+// Tables 1-3 report the Min and the Avg ("actual microaggregation level").
+type SizeStats struct {
+	Min int
+	Max int
+	Avg float64
+	Num int
+}
+
+// Sizes computes SizeStats over clusters. Empty input yields the zero value.
+func Sizes(clusters []Cluster) SizeStats {
+	if len(clusters) == 0 {
+		return SizeStats{}
+	}
+	st := SizeStats{Min: clusters[0].Size(), Max: clusters[0].Size(), Num: len(clusters)}
+	total := 0
+	for _, c := range clusters {
+		s := c.Size()
+		total += s
+		if s < st.Min {
+			st.Min = s
+		}
+		if s > st.Max {
+			st.Max = s
+		}
+	}
+	st.Avg = float64(total) / float64(len(clusters))
+	return st
+}
+
+// Dist2 returns the squared Euclidean distance between points a and b.
+// Microaggregation only ever compares distances, so the square root is
+// skipped everywhere.
+func Dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Centroid returns the mean point of the given rows of a row-major matrix.
+func Centroid(points [][]float64, rows []int) []float64 {
+	if len(rows) == 0 || len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	c := make([]float64, dim)
+	for _, r := range rows {
+		p := points[r]
+		for j := 0; j < dim; j++ {
+			c[j] += p[j]
+		}
+	}
+	inv := 1.0 / float64(len(rows))
+	for j := range c {
+		c[j] *= inv
+	}
+	return c
+}
+
+// CentroidAll returns the mean point over all rows of the matrix.
+func CentroidAll(points [][]float64) []float64 {
+	rows := make([]int, len(points))
+	for i := range rows {
+		rows[i] = i
+	}
+	return Centroid(points, rows)
+}
+
+// Farthest returns the row among rows whose point is farthest (Euclidean)
+// from p, breaking ties toward the lowest index for determinism.
+func Farthest(points [][]float64, rows []int, p []float64) int {
+	best, bestD := -1, -1.0
+	for _, r := range rows {
+		d := Dist2(points[r], p)
+		if d > bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+// Nearest returns the row among rows whose point is nearest to p, breaking
+// ties toward the lowest index.
+func Nearest(points [][]float64, rows []int, p []float64) int {
+	best := -1
+	bestD := -1.0
+	for _, r := range rows {
+		d := Dist2(points[r], p)
+		if best == -1 || d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+// KNearest returns the k rows among rows whose points are nearest to p (p
+// itself may be one of them if its row is in rows), in ascending distance
+// order. If fewer than k rows are available, all are returned.
+func KNearest(points [][]float64, rows []int, p []float64, k int) []int {
+	type rd struct {
+		row int
+		d   float64
+	}
+	ds := make([]rd, len(rows))
+	for i, r := range rows {
+		ds[i] = rd{row: r, d: Dist2(points[r], p)}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].d != ds[j].d {
+			return ds[i].d < ds[j].d
+		}
+		return ds[i].row < ds[j].row
+	})
+	if k > len(ds) {
+		k = len(ds)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].row
+	}
+	return out
+}
+
+// Aggregate performs the aggregation step: it returns a copy of t in which
+// every quasi-identifier value is replaced by its cluster representative —
+// the mean for numeric attributes, the (lower) median code for categorical
+// attributes. Confidential and non-confidential attributes are left intact;
+// identifier attributes are blanked to 0 (they must not be released).
+func Aggregate(t *dataset.Table, clusters []Cluster) (*dataset.Table, error) {
+	if err := CheckPartition(clusters, t.Len(), 1); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	qis := t.Schema().QuasiIdentifiers()
+	for _, c := range clusters {
+		for _, col := range qis {
+			rep := representative(t, c.Rows, col)
+			for _, r := range c.Rows {
+				out.SetValue(r, col, rep)
+			}
+		}
+	}
+	for _, col := range t.Schema().Indices(dataset.Identifier) {
+		out.Redact(col)
+	}
+	return out, nil
+}
+
+func representative(t *dataset.Table, rows []int, col int) float64 {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = t.Value(r, col)
+	}
+	if t.Schema().Attr(col).Kind == dataset.Categorical {
+		// Median code: a value that exists in the dictionary, minimizing the
+		// ordinal distance to the cluster members.
+		sort.Float64s(vals)
+		return vals[(len(vals)-1)/2]
+	}
+	return dataset.Mean(vals)
+}
+
+// AggregationOp selects the cluster representative used for numeric
+// quasi-identifiers in AggregateWith; categorical attributes always use the
+// median code.
+type AggregationOp int
+
+const (
+	// OpMean uses the arithmetic mean — the SSE-optimal operator for any
+	// fixed partition, and the paper's choice.
+	OpMean AggregationOp = iota
+	// OpMedian uses the lower median — more robust to outliers but
+	// SSE-suboptimal; provided for the aggregation-operator ablation.
+	OpMedian
+)
+
+// AggregateWith is Aggregate with an explicit numeric aggregation operator.
+func AggregateWith(t *dataset.Table, clusters []Cluster, op AggregationOp) (*dataset.Table, error) {
+	if err := CheckPartition(clusters, t.Len(), 1); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	qis := t.Schema().QuasiIdentifiers()
+	for _, c := range clusters {
+		for _, col := range qis {
+			var rep float64
+			if op == OpMedian && t.Schema().Attr(col).Kind == dataset.Numeric {
+				vals := make([]float64, len(c.Rows))
+				for i, r := range c.Rows {
+					vals[i] = t.Value(r, col)
+				}
+				sort.Float64s(vals)
+				rep = vals[(len(vals)-1)/2]
+			} else {
+				rep = representative(t, c.Rows, col)
+			}
+			for _, r := range c.Rows {
+				out.SetValue(r, col, rep)
+			}
+		}
+	}
+	for _, col := range t.Schema().Indices(dataset.Identifier) {
+		out.Redact(col)
+	}
+	return out, nil
+}

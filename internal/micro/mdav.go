@@ -1,0 +1,67 @@
+package micro
+
+// MDAV (Maximum Distance to AVerage) is the fixed-size multivariate
+// microaggregation heuristic of Domingo-Ferrer and Mateo-Sanz used as the
+// baseline partitioner in the paper (cost O(n^2/k)).
+//
+// While at least 3k records remain, MDAV finds the record xr farthest from
+// the centroid of the remaining records and the record xs farthest from xr,
+// and forms one cluster of the k records nearest to each. When between 2k
+// and 3k-1 records remain, a cluster is formed around the record farthest
+// from the centroid and the rest form the final cluster. When fewer than 2k
+// remain, they all join a single final cluster.
+//
+// MDAV partitions points (a row-major matrix of normalized quasi-identifier
+// vectors) into clusters of size at least k. If len(points) < 2k the result
+// is a single cluster containing every record.
+func MDAV(points [][]float64, k int) ([]Cluster, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var clusters []Cluster
+	for len(remaining) >= 3*k {
+		c := Centroid(points, remaining)
+		xr := Farthest(points, remaining, c)
+		cluster1 := KNearest(points, remaining, points[xr], k)
+		remaining = removeRows(remaining, cluster1)
+		xs := Farthest(points, remaining, points[xr])
+		cluster2 := KNearest(points, remaining, points[xs], k)
+		remaining = removeRows(remaining, cluster2)
+		clusters = append(clusters, Cluster{Rows: cluster1}, Cluster{Rows: cluster2})
+	}
+	if len(remaining) >= 2*k {
+		c := Centroid(points, remaining)
+		xr := Farthest(points, remaining, c)
+		cluster1 := KNearest(points, remaining, points[xr], k)
+		remaining = removeRows(remaining, cluster1)
+		clusters = append(clusters, Cluster{Rows: cluster1}, Cluster{Rows: remaining})
+	} else if len(remaining) > 0 {
+		clusters = append(clusters, Cluster{Rows: remaining})
+	}
+	return clusters, nil
+}
+
+// removeRows returns remaining minus the rows in drop, preserving order.
+// drop is small (O(k)) so the linear scan per element is cheaper in practice
+// than building a set.
+func removeRows(remaining, drop []int) []int {
+	dropSet := make(map[int]struct{}, len(drop))
+	for _, r := range drop {
+		dropSet[r] = struct{}{}
+	}
+	out := remaining[:0]
+	for _, r := range remaining {
+		if _, gone := dropSet[r]; !gone {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package micro
+
+import (
+	"sort"
+)
+
+// OptimalUnivariate computes the SSE-optimal univariate microaggregation of
+// Hansen & Mukherjee (2003): unlike the multivariate problem (NP-hard,
+// Section 2.3 of the paper), the one-dimensional case is solved exactly in
+// O(nk) time by dynamic programming over the sorted values, because an
+// optimal partition always consists of runs of consecutive sorted values
+// with sizes in [k, 2k-1].
+//
+// It returns clusters of original record indices. For n < 2k the result is
+// a single cluster. The function is used as an exact reference in tests
+// (MDAV must never beat it on one dimension) and by the partitioner
+// ablation.
+func OptimalUnivariate(values []float64, k int) ([]Cluster, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if n < 2*k {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return []Cluster{{Rows: all}}, nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if values[order[a]] != values[order[b]] {
+			return values[order[a]] < values[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	// Prefix sums over the sorted values for O(1) within-group SSE:
+	// sse(a..b) = Σv² − (Σv)²/len over sorted positions a..b inclusive.
+	pre := make([]float64, n+1)
+	pre2 := make([]float64, n+1)
+	for i, idx := range order {
+		v := values[idx]
+		pre[i+1] = pre[i] + v
+		pre2[i+1] = pre2[i] + v*v
+	}
+	groupSSE := func(a, b int) float64 { // inclusive sorted positions
+		s := pre[b+1] - pre[a]
+		s2 := pre2[b+1] - pre2[a]
+		l := float64(b - a + 1)
+		return s2 - s*s/l
+	}
+	const inf = 1e308
+	// best[i] = minimal SSE of partitioning sorted positions [0, i).
+	best := make([]float64, n+1)
+	cut := make([]int, n+1) // cut[i] = start of the last group ending at i-1
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+		// The last group covers positions [j, i-1] with k <= i-j <= 2k-1.
+		lo := i - (2*k - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i-k; j++ {
+			if j > 0 && best[j] >= inf {
+				continue
+			}
+			var prev float64
+			if j > 0 {
+				prev = best[j]
+			}
+			if c := prev + groupSSE(j, i-1); c < best[i] {
+				best[i] = c
+				cut[i] = j
+			}
+		}
+		if best[i] >= inf && i >= k {
+			// Unreachable for valid inputs (n >= 2k guarantees feasibility),
+			// kept as a defensive invariant.
+			continue
+		}
+	}
+	// Reconstruct groups back-to-front.
+	var clusters []Cluster
+	for i := n; i > 0; {
+		j := cut[i]
+		rows := make([]int, 0, i-j)
+		for p := j; p < i; p++ {
+			rows = append(rows, order[p])
+		}
+		clusters = append(clusters, Cluster{Rows: rows})
+		i = j
+	}
+	// Reverse for ascending order of values.
+	for l, r := 0, len(clusters)-1; l < r; l, r = l+1, r-1 {
+		clusters[l], clusters[r] = clusters[r], clusters[l]
+	}
+	return clusters, nil
+}

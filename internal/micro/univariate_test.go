@@ -1,0 +1,206 @@
+package micro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceSSE finds the optimal partition SSE by exhaustive search over
+// consecutive-group partitions with sizes in [k, 2k-1] (optimal partitions
+// are always of this form).
+func bruteForceSSE(sorted []float64, k int) float64 {
+	n := len(sorted)
+	var rec func(start int) float64
+	memo := make(map[int]float64)
+	rec = func(start int) float64 {
+		if start == n {
+			return 0
+		}
+		if v, ok := memo[start]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		for size := k; size <= 2*k-1 && start+size <= n; size++ {
+			if n-(start+size) != 0 && n-(start+size) < k {
+				continue
+			}
+			var sum, sum2 float64
+			for _, v := range sorted[start : start+size] {
+				sum += v
+				sum2 += v * v
+			}
+			sse := sum2 - sum*sum/float64(size)
+			if rest := rec(start + size); sse+rest < best {
+				best = sse + rest
+			}
+		}
+		memo[start] = best
+		return best
+	}
+	return rec(0)
+}
+
+func partitionSSE(values []float64, clusters []Cluster) float64 {
+	total := 0.0
+	for _, c := range clusters {
+		var sum, sum2 float64
+		for _, r := range c.Rows {
+			sum += values[r]
+			sum2 += values[r] * values[r]
+		}
+		total += sum2 - sum*sum/float64(len(c.Rows))
+	}
+	return total
+}
+
+func TestOptimalUnivariateErrors(t *testing.T) {
+	if _, err := OptimalUnivariate(nil, 2); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := OptimalUnivariate([]float64{1, 2}, 0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+}
+
+func TestOptimalUnivariateSmall(t *testing.T) {
+	clusters, err := OptimalUnivariate([]float64{5, 1, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || clusters[0].Size() != 3 {
+		t.Errorf("n < 2k should give one cluster: %v", clusters)
+	}
+}
+
+func TestOptimalUnivariateHand(t *testing.T) {
+	// Two tight value groups: {1, 1.1, 1.2} and {9, 9.1, 9.2} with k=3.
+	values := []float64{9.1, 1, 9.2, 1.1, 9, 1.2}
+	clusters, err := OptimalUnivariate(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("want 2 clusters, got %v", clusters)
+	}
+	for _, c := range clusters {
+		low, high := 0, 0
+		for _, r := range c.Rows {
+			if values[r] < 5 {
+				low++
+			} else {
+				high++
+			}
+		}
+		if low != 0 && high != 0 {
+			t.Errorf("cluster mixes the two value groups: %v", c.Rows)
+		}
+	}
+}
+
+func TestOptimalUnivariateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(18)
+		k := 2 + rng.Intn(3)
+		if n < 2*k {
+			continue
+		}
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 10
+		}
+		clusters, err := OptimalUnivariate(values, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPartition(clusters, n, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := partitionSSE(values, clusters)
+		sorted := append([]float64(nil), values...)
+		insertionSort(sorted)
+		want := bruteForceSSE(sorted, k)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d (n=%d k=%d): SSE %v, optimal %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestOptimalUnivariateNeverWorseThanMDAV(t *testing.T) {
+	// On one dimension, the exact DP must never lose to the MDAV heuristic.
+	f := func(raw []float64, kRaw uint8) bool {
+		k := 2 + int(kRaw)%4
+		if len(raw) < 2*k {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		opt, err := OptimalUnivariate(raw, k)
+		if err != nil {
+			return false
+		}
+		points := make([][]float64, len(raw))
+		for i, v := range raw {
+			points[i] = []float64{v}
+		}
+		mdav, err := MDAV(points, k)
+		if err != nil {
+			return false
+		}
+		return partitionSSE(raw, opt) <= partitionSSE(raw, mdav)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalUnivariateSizesBounded(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%6
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		for _, v := range raw {
+			// v*v in the prefix sums overflows beyond ~1e154.
+			if math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		clusters, err := OptimalUnivariate(raw, k)
+		if err != nil {
+			return false
+		}
+		if err := CheckPartition(clusters, len(raw), min(k, len(raw))); err != nil {
+			return false
+		}
+		if len(raw) >= 2*k {
+			for _, c := range clusters {
+				if c.Size() < k || c.Size() > 2*k-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

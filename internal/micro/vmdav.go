@@ -1,0 +1,96 @@
+package micro
+
+// VMDAVGammaDefault is the gain threshold recommended by Solanas and
+// Martínez-Ballesté for V-MDAV's cluster extension step.
+const VMDAVGammaDefault = 0.2
+
+// VMDAV implements V-MDAV (Variable-size Maximum Distance to AVerage,
+// Solanas & Martínez-Ballesté 2006), the variable-group-size refinement of
+// MDAV referenced in Section 5 of the paper. Unlike MDAV, clusters may grow
+// beyond k (up to 2k-1 records) when an unassigned record is closer to the
+// cluster than to its own unassigned neighborhood, which better adapts to
+// non-uniform point densities.
+//
+// gamma controls how eagerly clusters are extended: an unassigned record u
+// at squared distance du from the cluster centroid is absorbed if
+// du < gamma * din, where din is the squared distance from u to its nearest
+// unassigned neighbor. gamma <= 0 selects VMDAVGammaDefault.
+func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if gamma <= 0 {
+		gamma = VMDAVGammaDefault
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var clusters []Cluster
+	for len(remaining) >= 2*k {
+		c := Centroid(points, remaining)
+		xr := Farthest(points, remaining, c)
+		rows := KNearest(points, remaining, points[xr], k)
+		remaining = removeRows(remaining, rows)
+		// Extension: absorb up to k-1 more records that are locally closer
+		// to this cluster than to the rest of the unassigned points.
+		for len(rows) < 2*k-1 && len(remaining) > k {
+			cen := Centroid(points, rows)
+			u := Nearest(points, remaining, cen)
+			du := Dist2(points[u], cen)
+			din := nearestNeighborDist2(points, remaining, u)
+			if du < gamma*din {
+				rows = append(rows, u)
+				remaining = removeRows(remaining, []int{u})
+			} else {
+				break
+			}
+		}
+		clusters = append(clusters, Cluster{Rows: rows})
+	}
+	// Fewer than 2k remain: k..2k-1 records form a final cluster; fewer than
+	// k are assigned to their nearest existing cluster.
+	if len(remaining) >= k || len(clusters) == 0 {
+		if len(remaining) > 0 {
+			clusters = append(clusters, Cluster{Rows: remaining})
+		}
+	} else {
+		centroids := make([][]float64, len(clusters))
+		for i, cl := range clusters {
+			centroids[i] = Centroid(points, cl.Rows)
+		}
+		for _, r := range remaining {
+			best, bestD := 0, Dist2(points[r], centroids[0])
+			for i := 1; i < len(centroids); i++ {
+				if d := Dist2(points[r], centroids[i]); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			clusters[best].Rows = append(clusters[best].Rows, r)
+		}
+	}
+	return clusters, nil
+}
+
+// nearestNeighborDist2 returns the squared distance from record u to its
+// nearest other record among rows.
+func nearestNeighborDist2(points [][]float64, rows []int, u int) float64 {
+	best := -1.0
+	for _, r := range rows {
+		if r == u {
+			continue
+		}
+		d := Dist2(points[r], points[u])
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

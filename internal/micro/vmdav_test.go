@@ -1,0 +1,111 @@
+package micro
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVMDAVErrors(t *testing.T) {
+	if _, err := VMDAV(nil, 2, 0); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := VMDAV(randomPoints(5, 2, 1), 0, 0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+}
+
+func TestVMDAVPartitionAndSizeBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 11, 50, 101} {
+		for _, k := range []int{1, 2, 4} {
+			pts := randomPoints(n, 2, int64(n*37+k))
+			clusters, err := VMDAV(pts, k, 0)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if err := CheckPartition(clusters, n, 1); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if n >= k {
+				for ci, c := range clusters {
+					if c.Size() < k {
+						t.Errorf("n=%d k=%d: cluster %d undersized (%d)", n, k, ci, c.Size())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVMDAVSizeUpperBound(t *testing.T) {
+	// V-MDAV may extend clusters, but never beyond 2k-1 before the final
+	// leftover assignment; leftovers (< k) can push a cluster to at most
+	// (2k-1) + (k-1) = 3k-2.
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := 1 + int(nRaw)%120
+		k := 1 + int(kRaw)%8
+		clusters, err := VMDAV(randomPoints(n, 2, seed), k, 0)
+		if err != nil {
+			return false
+		}
+		if err := CheckPartition(clusters, n, 1); err != nil {
+			return false
+		}
+		for _, c := range clusters {
+			if n >= k && c.Size() < k {
+				return false
+			}
+			if c.Size() > 3*k-2 && len(clusters) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMDAVGammaDefault(t *testing.T) {
+	pts := randomPoints(30, 2, 5)
+	a, err := VMDAV(pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VMDAV(pts, 3, VMDAVGammaDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("gamma 0 should select the default: %d vs %d clusters", len(a), len(b))
+	}
+}
+
+func TestVMDAVExtendsInDenseRegions(t *testing.T) {
+	// A tight blob of 5 points plus distant scattered points: with k=3 the
+	// blob should be kept together by the extension step rather than split.
+	pts := [][]float64{
+		{0, 0}, {0.001, 0}, {0, 0.001}, {0.001, 0.001}, {0.0005, 0.0005},
+		{10, 10}, {20, 20}, {30, 30},
+	}
+	clusters, err := VMDAV(pts, 3, VMDAVGammaDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the cluster containing point 0; all five blob points should sit
+	// in one cluster.
+	for _, c := range clusters {
+		has0 := false
+		blob := 0
+		for _, r := range c.Rows {
+			if r == 0 {
+				has0 = true
+			}
+			if r < 5 {
+				blob++
+			}
+		}
+		if has0 && blob != 5 {
+			t.Errorf("blob split across clusters: %v", clusters)
+		}
+	}
+}

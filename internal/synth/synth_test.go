@@ -1,0 +1,202 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestCensusSizeAndSchema(t *testing.T) {
+	tbl := CensusMCD()
+	if tbl.Len() != CensusSize {
+		t.Fatalf("len = %d, want %d", tbl.Len(), CensusSize)
+	}
+	s := tbl.Schema()
+	if got := s.QuasiIdentifiers(); len(got) != 2 {
+		t.Errorf("QIs = %v", got)
+	}
+	if got := s.Confidentials(); len(got) != 1 {
+		t.Errorf("confidentials = %v", got)
+	}
+	if s.Attr(2).Name != "FEDTAX" {
+		t.Errorf("confidential name = %q", s.Attr(2).Name)
+	}
+	if CensusHCD().Schema().Attr(2).Name != "FICA" {
+		t.Error("HCD confidential should be FICA")
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("generated table invalid: %v", err)
+	}
+}
+
+func TestCensusCorrelationTargets(t *testing.T) {
+	// The substitution contract of DESIGN.md §4: the paper's quoted
+	// QI↔confidential correlation (driven by the dominant quasi-identifier,
+	// TAXINC) is ≈0.52 for MCD and ≈0.92 for HCD. With n=1080 sampling
+	// noise allows a modest band.
+	mcd, err := CensusMCD().MaxQIConfidentialCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcd < 0.42 || mcd > 0.62 {
+		t.Errorf("MCD correlation = %.3f, want ≈0.52", mcd)
+	}
+	hcd, err := CensusHCD().MaxQIConfidentialCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcd < 0.85 || hcd > 0.97 {
+		t.Errorf("HCD correlation = %.3f, want ≈0.92", hcd)
+	}
+	if hcd <= mcd {
+		t.Errorf("HCD (%v) must exceed MCD (%v)", hcd, mcd)
+	}
+	// The mean over both quasi-identifiers is strictly lower because
+	// POTHVAL is nearly independent of the confidential attribute.
+	mean, err := CensusMCD().QIConfidentialCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean >= mcd {
+		t.Errorf("mean correlation %v should be below max %v", mean, mcd)
+	}
+}
+
+func TestCensusDeterministic(t *testing.T) {
+	a := Census(50, FedTax, 123)
+	b := Census(50, FedTax, 123)
+	for r := 0; r < 50; r++ {
+		for c := 0; c < 3; c++ {
+			if a.Value(r, c) != b.Value(r, c) {
+				t.Fatalf("value (%d,%d) differs across identical seeds", r, c)
+			}
+		}
+	}
+	c := Census(50, FedTax, 124)
+	same := true
+	for r := 0; r < 50 && same; r++ {
+		same = a.Value(r, 0) == c.Value(r, 0)
+	}
+	if same {
+		t.Error("different seeds should produce different data")
+	}
+}
+
+func TestCensusSkewedMarginals(t *testing.T) {
+	// Income-like attributes must be right-skewed: mean > median.
+	tbl := CensusMCD()
+	for c := 0; c < 3; c++ {
+		col := tbl.Column(c)
+		if dataset.Mean(col) <= dataset.Median(col) {
+			t.Errorf("column %d not right-skewed: mean %v median %v",
+				c, dataset.Mean(col), dataset.Median(col))
+		}
+	}
+}
+
+func TestCensusPositiveValues(t *testing.T) {
+	tbl := CensusHCD()
+	for c := 0; c < 3; c++ {
+		st := tbl.Stats(c)
+		if st.Min <= 0 {
+			t.Errorf("column %q has non-positive minimum %v", st.Name, st.Min)
+		}
+	}
+}
+
+func TestPatientDischargeSizeAndSchema(t *testing.T) {
+	tbl := PatientDischarge(500, DefaultSeed)
+	if tbl.Len() != 500 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	if got := tbl.Schema().QuasiIdentifiers(); len(got) != 7 {
+		t.Errorf("want 7 QIs, got %d", len(got))
+	}
+	if got := tbl.Schema().Confidentials(); len(got) != 1 {
+		t.Errorf("want 1 confidential, got %d", len(got))
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("generated table invalid: %v", err)
+	}
+}
+
+func TestPatientDischargeWeakCorrelation(t *testing.T) {
+	tbl := PatientDischarge(8000, DefaultSeed)
+	corr, err := tbl.QIConfidentialCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.05 || corr > 0.25 {
+		t.Errorf("PD correlation = %.3f, want ≈0.13", corr)
+	}
+}
+
+func TestPatientDischargeDomains(t *testing.T) {
+	tbl := PatientDischarge(2000, 9)
+	checks := []struct {
+		col    string
+		lo, hi float64
+	}{
+		{"AGE", 0, 100},
+		{"ZIP", 90001, 93001},
+		{"ADMIT_DAY", 1, 365},
+		{"SEVERITY", 1, 5},
+		{"SEX", 0, 1},
+		{"WARD", 1, 8},
+	}
+	for _, c := range checks {
+		idx := tbl.Schema().Index(c.col)
+		if idx < 0 {
+			t.Fatalf("column %q missing", c.col)
+		}
+		st := tbl.Stats(idx)
+		if st.Min < c.lo || st.Max > c.hi {
+			t.Errorf("%s range [%v,%v] outside [%v,%v]", c.col, st.Min, st.Max, c.lo, c.hi)
+		}
+	}
+	stay := tbl.Stats(tbl.Schema().Index("STAY_DAYS"))
+	if stay.Min < 1 {
+		t.Errorf("STAY_DAYS min = %v, want >= 1", stay.Min)
+	}
+	charge := tbl.Stats(tbl.Schema().Index("CHARGE"))
+	if charge.Min <= 0 {
+		t.Errorf("CHARGE min = %v, want > 0", charge.Min)
+	}
+}
+
+func TestPatientDischargeChargeHeavyTailed(t *testing.T) {
+	tbl := PatientDischarge(5000, 3)
+	col := tbl.Column(tbl.Schema().Index("CHARGE"))
+	mean, med := dataset.Mean(col), dataset.Median(col)
+	if mean <= med {
+		t.Errorf("charge not right-skewed: mean %v median %v", mean, med)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tbl := Uniform(25, 3, 5)
+	if tbl.Len() != 25 || tbl.Width() != 4 {
+		t.Fatalf("dims %dx%d", tbl.Len(), tbl.Width())
+	}
+	if len(tbl.Schema().QuasiIdentifiers()) != 3 {
+		t.Error("want 3 QIs")
+	}
+	for r := 0; r < tbl.Len(); r++ {
+		for c := 0; c < tbl.Width(); c++ {
+			v := tbl.Value(r, c)
+			if v < 0 || v >= 1 || math.IsNaN(v) {
+				t.Fatalf("value (%d,%d) = %v outside [0,1)", r, c, v)
+			}
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := Uniform(10, 2, 42), Uniform(10, 2, 42)
+	for r := 0; r < 10; r++ {
+		if a.Value(r, 0) != b.Value(r, 0) {
+			t.Fatal("Uniform not deterministic")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package tclose
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// Algorithm1 implements the paper's Algorithm 1: t-closeness through
+// microaggregation and merging of microaggregated groups of records.
+//
+// The partitioner (MDAV when nil) first produces a k-anonymous partition of
+// the quasi-identifiers. Then, while some cluster is farther than t (in
+// Earth Mover's Distance of the confidential attribute distribution) from
+// the whole data set, the cluster with the greatest EMD is merged with the
+// cluster closest to it in terms of quasi-identifiers. In the worst case all
+// clusters merge into one, whose EMD is zero, so the algorithm always
+// terminates with a t-close partition. Cost: the partitioner's cost plus
+// O((n/k)^2) for merging — O(n^2/k) overall with MDAV.
+func Algorithm1(t *dataset.Table, k int, tLevel float64, part Partitioner) (*Result, error) {
+	return Algorithm1Policy(t, k, tLevel, part, MergeNearestQI)
+}
+
+// MergePolicy selects how Algorithm 1 chooses the partner of the
+// worst-EMD cluster in each merge step.
+type MergePolicy int
+
+const (
+	// MergeNearestQI merges with the cluster whose quasi-identifier
+	// centroid is nearest — the paper's policy, which protects utility.
+	MergeNearestQI MergePolicy = iota
+	// MergeGreedyEMD merges with the cluster that minimizes the EMD of the
+	// merged cluster, ignoring quasi-identifier proximity. It converges in
+	// fewer merges but damages QI homogeneity; it exists for the ablation
+	// benchmark quantifying the value of the paper's choice.
+	MergeGreedyEMD
+)
+
+// Algorithm1Policy is Algorithm1 with an explicit merge-partner policy.
+func Algorithm1Policy(t *dataset.Table, k int, tLevel float64, part Partitioner, policy MergePolicy) (*Result, error) {
+	p, err := newProblem(t, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	if part == nil {
+		part = micro.MDAV
+	}
+	clusters, err := part(p.points, p.k)
+	if err != nil {
+		return nil, fmt.Errorf("tclose: initial microaggregation: %w", err)
+	}
+	merged, merges := p.mergeUntilTClosePolicy(clusters, policy)
+	return &Result{
+		Clusters:   merged,
+		MaxEMD:     p.maxEMD(merged),
+		Merges:     merges,
+		EffectiveK: p.k,
+	}, nil
+}
+
+// mergeState caches, for each live cluster, its histogram set, EMD, and QI
+// centroid, so that each merge step costs O(#clusters + bins) instead of
+// recomputing everything.
+type mergeState struct {
+	rows     [][]int
+	hists    []histSet
+	emds     []float64
+	centroid [][]float64
+	alive    []bool
+	nAlive   int
+}
+
+// mergeUntilTClose runs Algorithm 1's merging loop on an initial partition
+// and returns the resulting partition and the number of merges performed.
+func (p *problem) mergeUntilTClose(clusters []micro.Cluster) ([]micro.Cluster, int) {
+	return p.mergeUntilTClosePolicy(clusters, MergeNearestQI)
+}
+
+func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergePolicy) ([]micro.Cluster, int) {
+	st := &mergeState{
+		rows:     make([][]int, len(clusters)),
+		hists:    make([]histSet, len(clusters)),
+		emds:     make([]float64, len(clusters)),
+		centroid: make([][]float64, len(clusters)),
+		alive:    make([]bool, len(clusters)),
+		nAlive:   len(clusters),
+	}
+	for i, c := range clusters {
+		st.rows[i] = append([]int(nil), c.Rows...)
+		st.hists[i] = p.newHistSet(c.Rows)
+		st.emds[i] = st.hists[i].emd()
+		st.centroid[i] = micro.Centroid(p.points, c.Rows)
+		st.alive[i] = true
+	}
+	merges := 0
+	for st.nAlive > 1 {
+		// Cluster farthest from the data set distribution.
+		worst, worstEMD := -1, 0.0
+		for i := range st.rows {
+			if st.alive[i] && st.emds[i] > worstEMD {
+				worst, worstEMD = i, st.emds[i]
+			}
+		}
+		if worst < 0 || worstEMD <= p.t {
+			break
+		}
+		// Choose the merge partner per policy.
+		closest, closestD := -1, 0.0
+		for j := range st.rows {
+			if !st.alive[j] || j == worst {
+				continue
+			}
+			var d float64
+			switch policy {
+			case MergeGreedyEMD:
+				trial := st.hists[worst][0].Clone()
+				trial.Merge(st.hists[j][0])
+				d = trial.EMD()
+			default: // MergeNearestQI: the paper's policy
+				d = micro.Dist2(st.centroid[worst], st.centroid[j])
+			}
+			if closest < 0 || d < closestD {
+				closest, closestD = j, d
+			}
+		}
+		if closest < 0 {
+			break
+		}
+		st.merge(p, worst, closest)
+		merges++
+	}
+	out := make([]micro.Cluster, 0, st.nAlive)
+	for i := range st.rows {
+		if st.alive[i] {
+			out = append(out, micro.Cluster{Rows: st.rows[i]})
+		}
+	}
+	return out, merges
+}
+
+// merge folds cluster b into cluster a and updates the cached centroid,
+// histogram and EMD of a.
+func (st *mergeState) merge(p *problem, a, b int) {
+	na, nb := float64(len(st.rows[a])), float64(len(st.rows[b]))
+	st.rows[a] = append(st.rows[a], st.rows[b]...)
+	st.hists[a].merge(st.hists[b])
+	st.emds[a] = st.hists[a].emd()
+	// Weighted mean of the two centroids equals the centroid of the union.
+	ca, cb := st.centroid[a], st.centroid[b]
+	for j := range ca {
+		ca[j] = (ca[j]*na + cb[j]*nb) / (na + nb)
+	}
+	st.alive[b] = false
+	st.rows[b] = nil
+	st.hists[b] = nil
+	st.nAlive--
+}

@@ -1,0 +1,150 @@
+package tclose
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+)
+
+// Algorithm2 implements the paper's Algorithm 2 (k-anonymity-first
+// t-closeness aware microaggregation) the way Section 8 evaluates it: the
+// k-anonymity-first partition is used as the microaggregation function
+// inside Algorithm 1, so the merge step finishes off any clusters (typically
+// the last ones, formed when few unclustered records remain) that the swap
+// refinement could not bring within t. The result therefore always satisfies
+// t-closeness.
+//
+// Cost: O(n^3/k) in the worst case (each cluster may scan all remaining
+// records, evaluating one EMD per in-cluster eviction candidate), O(n^2/k)
+// when no swaps are needed.
+func Algorithm2(t *dataset.Table, k int, tLevel float64) (*Result, error) {
+	p, err := newProblem(t, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	clusters, swaps := p.kAnonymityFirstPartition()
+	merged, merges := p.mergeUntilTClose(clusters)
+	return &Result{
+		Clusters:   merged,
+		MaxEMD:     p.maxEMD(merged),
+		Merges:     merges,
+		Swaps:      swaps,
+		EffectiveK: p.k,
+	}, nil
+}
+
+// Algorithm2Standalone runs only the k-anonymity-first partition, without
+// the finishing merge step. As the paper notes, it alone cannot guarantee
+// t-closeness (records may be exhausted before the last clusters reach t),
+// so Result.MaxEMD may exceed t; it is exposed for the ablation benchmarks
+// comparing the guarantee's cost.
+func Algorithm2Standalone(t *dataset.Table, k int, tLevel float64) (*Result, error) {
+	p, err := newProblem(t, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	clusters, swaps := p.kAnonymityFirstPartition()
+	return &Result{
+		Clusters:   clusters,
+		MaxEMD:     p.maxEMD(clusters),
+		Swaps:      swaps,
+		EffectiveK: p.k,
+	}, nil
+}
+
+// kAnonymityFirstPartition builds clusters MDAV-style (around the record
+// farthest from the centroid of the unclustered records, then around the
+// record farthest from that one), refining each cluster with generateCluster
+// before moving on.
+func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
+	n := p.table.Len()
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	var clusters []micro.Cluster
+	swaps := 0
+	for len(avail) > 0 {
+		xa := micro.Centroid(p.points, avail)
+		x0 := micro.Farthest(p.points, avail, xa)
+		c, s := p.generateCluster(x0, avail)
+		swaps += s
+		avail = removeSorted(avail, c)
+		clusters = append(clusters, micro.Cluster{Rows: c})
+		if len(avail) == 0 {
+			break
+		}
+		x1 := micro.Farthest(p.points, avail, p.points[x0])
+		c, s = p.generateCluster(x1, avail)
+		swaps += s
+		avail = removeSorted(avail, c)
+		clusters = append(clusters, micro.Cluster{Rows: c})
+	}
+	return clusters, swaps
+}
+
+// generateCluster implements the paper's GenerateCluster: starting from the
+// k records QI-closest to the source record x (x included), while the
+// cluster's EMD to the data set exceeds t and unconsidered records remain,
+// take the next QI-closest record y and swap it with the in-cluster record
+// y' whose eviction minimizes the EMD of C ∪ {y} \ {y'}; the swap is kept
+// only if it strictly improves the EMD. Records considered but not swapped
+// in (and records swapped out) remain available to later clusters — only the
+// returned cluster is removed from the caller's pool.
+//
+// If fewer than 2k records remain, they all form the final cluster.
+func (p *problem) generateCluster(x int, avail []int) (cluster []int, swaps int) {
+	if len(avail) < 2*p.k {
+		return append([]int(nil), avail...), 0
+	}
+	// All available records sorted by QI distance to x: the first k seed the
+	// cluster; the rest are swap candidates in order.
+	cands := make([]int, len(avail))
+	copy(cands, avail)
+	px := p.points[x]
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := micro.Dist2(p.points[cands[i]], px), micro.Dist2(p.points[cands[j]], px)
+		if di != dj {
+			return di < dj
+		}
+		return cands[i] < cands[j]
+	})
+	cluster = append([]int(nil), cands[:p.k]...)
+	hs := p.newHistSet(cluster)
+	cur := hs.emd()
+	for _, y := range cands[p.k:] {
+		if cur <= p.t {
+			break
+		}
+		bestIdx, bestEMD := -1, cur
+		for i, out := range cluster {
+			if d := hs.emdSwap(out, y); d < bestEMD {
+				bestIdx, bestEMD = i, d
+			}
+		}
+		if bestIdx >= 0 {
+			hs.remove(cluster[bestIdx])
+			hs.add(y)
+			cluster[bestIdx] = y
+			cur = bestEMD
+			swaps++
+		}
+	}
+	return cluster, swaps
+}
+
+// removeSorted returns avail minus drop, preserving order.
+func removeSorted(avail, drop []int) []int {
+	dropSet := make(map[int]struct{}, len(drop))
+	for _, r := range drop {
+		dropSet[r] = struct{}{}
+	}
+	out := avail[:0]
+	for _, r := range avail {
+		if _, gone := dropSet[r]; !gone {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package tclose
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/emd"
+	"repro/internal/micro"
+)
+
+// Algorithm3 implements the paper's Algorithm 3 (t-closeness-first
+// microaggregation). It never evaluates an Earth Mover's Distance:
+// t-closeness holds by construction.
+//
+//  1. The cluster size is set to k' = max{k, ceil(n/(2(n-1)t+1))} (Eq. 3,
+//     derived from the Proposition 2 bound EMD <= (n-k)/(2(n-1)k)) and then
+//     adjusted for the n mod k' remainder (Eq. 4).
+//  2. The records are split into k' subsets of floor(n/k') records in
+//     ascending order of the confidential attribute, with the n mod k'
+//     remaining records assigned to the central subset(s), near the median,
+//     where an extra record costs the least EMD.
+//  3. Clusters are formed MDAV-style (seeded at the record farthest from
+//     the centroid of the unclustered records, then at the record farthest
+//     from that one), each taking the QI-nearest record from every subset —
+//     plus one extra record from a central subset while extras remain, so
+//     some clusters have k'+1 records (Figures 3-4 of the paper).
+//
+// Every cluster draws at most one record per subset (two from a central
+// subset), so by Proposition 2 its EMD is at most (n-k')/(2(n-1)k') <= t.
+// Cost is O(n^2/k), the same order as MDAV, with no EMD evaluations.
+//
+// Exactness caveat (Section 7 of the paper): when k' does not divide n, the
+// clusters that absorb an extra record can slightly exceed the Proposition 2
+// bound; the paper deliberately uses that bound as an approximation because
+// the exact uneven-case formulas are unwieldy. In that case Result.MaxEMD
+// may marginally exceed t, but never emd.MaxSpreadClusterEMDUneven(n, k').
+// When k' divides n — as in all of the paper's experiments — the t-closeness
+// guarantee is exact.
+//
+// When several confidential attributes are present the subsets are ranked on
+// the first one; the construction guarantee covers that attribute, and
+// Result.MaxEMD reports the worst EMD across all of them.
+func Algorithm3(t *dataset.Table, k int, tLevel float64) (*Result, error) {
+	p, err := newProblem(t, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	kEff, err := emd.RequiredClusterSize(n, p.k, p.t)
+	if err != nil {
+		return nil, err
+	}
+	kEff = emd.AdjustClusterSize(n, kEff)
+	if kEff >= n {
+		// A single cluster containing the whole data set: EMD is 0.
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		clusters := []micro.Cluster{{Rows: all}}
+		return &Result{Clusters: clusters, MaxEMD: 0, EffectiveK: kEff}, nil
+	}
+	clusters := p.tClosenessFirstPartition(kEff)
+	return &Result{
+		Clusters:   clusters,
+		MaxEMD:     p.maxEMD(clusters),
+		EffectiveK: kEff,
+	}, nil
+}
+
+// rankSubsets splits record indices into k subsets of floor(n/k) records in
+// ascending order of the first confidential attribute, assigning the n mod k
+// remaining records to the central subset(s): all to the middle subset when
+// k is odd, split between the two middle subsets when k is even (Figures 3-4
+// of the paper). The Eq. (4) adjustment guarantees n mod k <= floor(n/k).
+func (p *problem) rankSubsets(k int) [][]int {
+	n := p.table.Len()
+	confCol := p.table.Schema().Confidentials()[0]
+	conf := p.table.ColumnView(confCol)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if conf[order[i]] != conf[order[j]] {
+			return conf[order[i]] < conf[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	base := n / k
+	r := n % k
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = base
+	}
+	if r > 0 {
+		if k%2 == 1 {
+			sizes[k/2] += r
+		} else {
+			sizes[k/2-1] += (r + 1) / 2
+			sizes[k/2] += r / 2
+		}
+	}
+	subsets := make([][]int, k)
+	pos := 0
+	for i := 0; i < k; i++ {
+		subsets[i] = append([]int(nil), order[pos:pos+sizes[i]]...)
+		pos += sizes[i]
+	}
+	return subsets
+}
+
+// tClosenessFirstPartition forms floor(n/k) clusters, each with exactly one
+// QI-nearest record per rank subset plus at most one extra record from a
+// central subset while extras remain.
+func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
+	n := p.table.Len()
+	subsets := p.rankSubsets(k)
+	base := n / k
+	var clusters []micro.Cluster
+	// Live membership for centroid/farthest computations over the whole
+	// remaining data set.
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	build := func(seed []float64) micro.Cluster {
+		rows := make([]int, 0, k+1)
+		for i := 0; i < k; i++ {
+			if len(subsets[i]) == 0 {
+				continue
+			}
+			x := micro.Nearest(p.points, subsets[i], seed)
+			subsets[i] = removeOne(subsets[i], x)
+			rows = append(rows, x)
+		}
+		// Extra record: while some subset still holds more records than the
+		// clusters left to build, it must shed one extra now. Take it from
+		// the most overfull (central) subset.
+		left := base - len(clusters) - 1 // clusters still to build after this one
+		surplus, at := 0, -1
+		for i := 0; i < k; i++ {
+			if s := len(subsets[i]) - left; s > surplus {
+				surplus, at = s, i
+			}
+		}
+		if at >= 0 && surplus > 0 {
+			x := micro.Nearest(p.points, subsets[at], seed)
+			subsets[at] = removeOne(subsets[at], x)
+			rows = append(rows, x)
+		}
+		remaining = removeSorted(remaining, rows)
+		return micro.Cluster{Rows: rows}
+	}
+	for len(remaining) > 0 {
+		xa := micro.Centroid(p.points, remaining)
+		x0 := micro.Farthest(p.points, remaining, xa)
+		c := build(p.points[x0])
+		clusters = append(clusters, c)
+		if len(remaining) == 0 {
+			break
+		}
+		x1 := micro.Farthest(p.points, remaining, p.points[x0])
+		clusters = append(clusters, build(p.points[x1]))
+	}
+	return clusters
+}
+
+// removeOne returns s with the first occurrence of v removed.
+func removeOne(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+// Package tclose implements the paper's contribution: three
+// microaggregation-based algorithms that generate k-anonymous t-close data
+// sets.
+//
+//   - Algorithm 1 (Merge): standard microaggregation on the
+//     quasi-identifiers followed by merging of clusters until every cluster's
+//     confidential-attribute distribution is within EMD t of the data set
+//     distribution.
+//   - Algorithm 2 (k-anonymity-first): clusters are formed on the
+//     quasi-identifiers and refined by record swaps to approach t-closeness;
+//     because the refinement cannot always succeed (e.g. for the last
+//     cluster), the partition is finished with Algorithm 1's merge step.
+//   - Algorithm 3 (t-closeness-first): the cluster size k' required for
+//     t-closeness is derived analytically (Proposition 2 / Eq. 3-4), the
+//     records are split into k' rank subsets of the confidential attribute,
+//     and clusters take one QI-nearest record per subset, satisfying
+//     t-closeness by construction without ever evaluating an EMD.
+//
+// All three return a Result whose Clusters field partitions the input table;
+// micro.Aggregate turns that partition into the anonymized release.
+package tclose
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/emd"
+	"repro/internal/micro"
+)
+
+// Partitioner produces a k-anonymous partition of the given normalized
+// quasi-identifier points. micro.MDAV is the default; micro.VMDAV (curried
+// with a gamma) and Algorithm2Standalone-based partitioners also satisfy it.
+type Partitioner func(points [][]float64, k int) ([]micro.Cluster, error)
+
+// Result is the outcome of one of the t-closeness algorithms.
+type Result struct {
+	// Clusters partitions the input table's records.
+	Clusters []micro.Cluster
+	// MaxEMD is the largest Earth Mover's Distance between any cluster's
+	// confidential-attribute distribution and the data set distribution,
+	// maximized over all confidential attributes. MaxEMD <= T for every
+	// algorithm that carries the t-closeness guarantee.
+	MaxEMD float64
+	// Merges counts cluster mergers performed (Algorithms 1 and 2).
+	Merges int
+	// Swaps counts record swaps performed (Algorithm 2).
+	Swaps int
+	// EffectiveK is the cluster size actually enforced: the input k for
+	// Algorithms 1 and 2, and the Eq. (3)/(4) adjusted k' for Algorithm 3.
+	EffectiveK int
+}
+
+// Sizes returns the min/avg/max cluster cardinalities of the result, the
+// quantity the paper's Tables 1-3 report.
+func (r *Result) Sizes() micro.SizeStats { return micro.Sizes(r.Clusters) }
+
+// Parameter errors shared by the algorithms.
+var (
+	ErrBadK      = errors.New("tclose: k must be at least 1")
+	ErrBadT      = errors.New("tclose: t must be in (0, 1]")
+	ErrNoRecords = errors.New("tclose: data set has no records")
+)
+
+// problem bundles the per-run view of the input shared by the algorithms:
+// normalized QI points, one EMD space per confidential attribute, and the
+// validated parameters.
+type problem struct {
+	table  *dataset.Table
+	points [][]float64
+	spaces []*emd.Space
+	k      int
+	t      float64
+}
+
+func newProblem(t *dataset.Table, k int, tLevel float64) (*problem, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, ErrNoRecords
+	}
+	if err := t.Schema().Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if tLevel <= 0 || tLevel > 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadT, tLevel)
+	}
+	// Numeric (and ordinal, if encoded as numbers) confidential attributes
+	// use the paper's ordered-distance EMD; nominal categorical attributes
+	// use the equal-ground-distance (total variation) EMD, implementing the
+	// categorical extension the paper's conclusions call for. Algorithm 3's
+	// rank subsets then group records of the same category contiguously, so
+	// one-record-per-subset clusters approximate proportional category
+	// representation; its analytic Proposition 2 guarantee applies to the
+	// ordered distance only, and the achieved nominal EMD is reported in
+	// Result.MaxEMD.
+	cols := t.Schema().Confidentials()
+	spaces := make([]*emd.Space, len(cols))
+	for i, c := range cols {
+		var s *emd.Space
+		var err error
+		if t.Schema().Attr(c).Kind == dataset.Categorical {
+			s, err = emd.NewNominalSpace(t.ColumnView(c))
+		} else {
+			s, err = emd.NewSpace(t.ColumnView(c))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tclose: building EMD space for %q: %w",
+				t.Schema().Attr(c).Name, err)
+		}
+		spaces[i] = s
+	}
+	return &problem{
+		table:  t,
+		points: t.QIMatrix(),
+		spaces: spaces,
+		k:      k,
+		t:      tLevel,
+	}, nil
+}
+
+// clusterEMD returns the maximum EMD of the record set across all
+// confidential attributes.
+func (p *problem) clusterEMD(rows []int) float64 {
+	worst := 0.0
+	for _, s := range p.spaces {
+		if d := s.EMDOf(rows); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// maxEMD returns the largest cluster EMD over the whole partition.
+func (p *problem) maxEMD(clusters []micro.Cluster) float64 {
+	worst := 0.0
+	for _, c := range clusters {
+		if d := p.clusterEMD(c.Rows); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// histSet is a parallel set of histograms, one per confidential attribute,
+// for a single cluster.
+type histSet []*emd.Hist
+
+func (p *problem) newHistSet(rows []int) histSet {
+	hs := make(histSet, len(p.spaces))
+	for i, s := range p.spaces {
+		hs[i] = s.HistOf(rows)
+	}
+	return hs
+}
+
+// emd returns the maximum EMD of the histogram set.
+func (hs histSet) emd() float64 {
+	worst := 0.0
+	for _, h := range hs {
+		if d := h.EMD(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// emdSwap returns the maximum post-swap EMD across attributes.
+func (hs histSet) emdSwap(out, in int) float64 {
+	worst := 0.0
+	for _, h := range hs {
+		if d := h.EMDSwap(out, in); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (hs histSet) add(rec int) {
+	for _, h := range hs {
+		h.Add(rec)
+	}
+}
+
+func (hs histSet) remove(rec int) {
+	for _, h := range hs {
+		h.Remove(rec)
+	}
+}
+
+func (hs histSet) merge(other histSet) {
+	for i, h := range hs {
+		h.Merge(other[i])
+	}
+}

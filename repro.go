@@ -1,0 +1,191 @@
+// Package repro is the public facade of the t-closeness-through-
+// microaggregation library, a from-scratch Go reproduction of
+//
+//	J. Soria-Comas, J. Domingo-Ferrer, D. Sánchez, S. Martínez,
+//	"t-Closeness through Microaggregation: Strict Privacy with Enhanced
+//	Utility Preservation", IEEE TKDE (arXiv:1512.02909).
+//
+// The facade re-exports the user-facing pieces of the internal packages:
+//
+//   - describing microdata (Schema, Attribute, Table, CSV I/O),
+//   - anonymizing it with one of the paper's three algorithms or the
+//     Mondrian generalization baseline (Anonymize, Config),
+//   - verifying the released table's privacy level (Assess, KAnonymity,
+//     TCloseness), and
+//   - quantifying utility (NormalizedSSE).
+//
+// Quickstart:
+//
+//	table := repro.CensusMCD() // or dataset built via NewTable/ReadCSV
+//	res, err := repro.Anonymize(table, repro.Config{
+//		Algorithm: repro.TClosenessFirst, K: 5, T: 0.15,
+//	})
+//	// res.Anonymized is the k-anonymous t-close release.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/micro"
+	"repro/internal/privacy"
+	"repro/internal/risk"
+	"repro/internal/synth"
+	"repro/internal/tclose"
+)
+
+// Re-exported dataset types. See package dataset for details.
+type (
+	// Table is a columnar microdata set.
+	Table = dataset.Table
+	// Schema is an ordered list of attributes with roles.
+	Schema = dataset.Schema
+	// Attribute describes one column (name, role, kind).
+	Attribute = dataset.Attribute
+	// Role classifies an attribute's disclosiveness.
+	Role = dataset.Role
+	// Kind is an attribute's value domain (numeric or categorical).
+	Kind = dataset.Kind
+)
+
+// Attribute roles.
+const (
+	Identifier      = dataset.Identifier
+	QuasiIdentifier = dataset.QuasiIdentifier
+	Confidential    = dataset.Confidential
+	NonConfidential = dataset.NonConfidential
+)
+
+// Attribute kinds.
+const (
+	Numeric     = dataset.Numeric
+	Categorical = dataset.Categorical
+)
+
+// NewSchema builds a Schema from attributes; see dataset.NewSchema.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return dataset.NewSchema(attrs...) }
+
+// NewTable creates an empty table over a schema; see dataset.NewTable.
+func NewTable(schema *Schema) (*Table, error) { return dataset.NewTable(schema) }
+
+// ReadCSV decodes a table from the self-describing two-header CSV format;
+// see dataset.ReadCSV.
+func ReadCSV(r io.Reader) (*Table, error) { return dataset.ReadCSV(r) }
+
+// Anonymization configuration and result types. See package core.
+type (
+	// Config parameterizes Anonymize (algorithm, k, t).
+	Config = core.Config
+	// Result is an anonymization outcome: the released table plus privacy
+	// and utility diagnostics.
+	Result = core.Result
+	// Algorithm selects which of the paper's methods to run.
+	Algorithm = core.Algorithm
+	// Cluster is a group of record indices sharing aggregated
+	// quasi-identifiers.
+	Cluster = micro.Cluster
+	// Partitioner is a pluggable initial microaggregation for Algorithm 1.
+	Partitioner = tclose.Partitioner
+)
+
+// Anonymization algorithms.
+const (
+	// Merge is the paper's Algorithm 1 (microaggregation + cluster merging).
+	Merge = core.Merge
+	// KAnonymityFirst is the paper's Algorithm 2 (swap refinement + merge).
+	KAnonymityFirst = core.KAnonymityFirst
+	// TClosenessFirst is the paper's Algorithm 3 (t-closeness by
+	// construction; best utility and speed).
+	TClosenessFirst = core.TClosenessFirst
+	// MondrianBaseline is the generalization/recoding comparison baseline.
+	MondrianBaseline = core.MondrianBaseline
+)
+
+// Anonymize runs the configured algorithm and returns the release and its
+// diagnostics; see core.Anonymize.
+func Anonymize(t *Table, cfg Config) (*Result, error) { return core.Anonymize(t, cfg) }
+
+// ParseAlgorithm resolves a command-line algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// PrivacyReport summarizes the privacy level of a released table.
+type PrivacyReport = privacy.Report
+
+// Assess computes the privacy report of a released table; see
+// privacy.Assess.
+func Assess(t *Table) (*PrivacyReport, error) { return privacy.Assess(t) }
+
+// KAnonymity returns the k-anonymity level of a released table.
+func KAnonymity(t *Table) (int, error) { return privacy.KAnonymity(t) }
+
+// TCloseness returns the t-closeness level (worst-class EMD) of a released
+// table.
+func TCloseness(t *Table) (float64, error) { return privacy.TCloseness(t) }
+
+// NormalizedSSE computes the paper's Eq. (5) utility loss between an
+// original table and its anonymized release.
+func NormalizedSSE(original, anonymized *Table) (float64, error) {
+	return metrics.NormalizedSSE(original, anonymized)
+}
+
+// Synthetic evaluation data sets (deterministic; see package synth and
+// DESIGN.md §4 for how they substitute the paper's data).
+var (
+	// CensusMCD returns the 1,080-record moderately correlated Census-like
+	// data set (QI↔confidential correlation ≈ 0.52).
+	CensusMCD = synth.CensusMCD
+	// CensusHCD returns the 1,080-record highly correlated Census-like data
+	// set (correlation ≈ 0.92).
+	CensusHCD = synth.CensusHCD
+	// PatientDischarge returns an n-record patient-discharge-like data set
+	// with 7 quasi-identifiers and weak correlation (≈ 0.13).
+	PatientDischarge = synth.PatientDischarge
+)
+
+// AnatomyRelease produces the QI-preserving release style of Section 2.3:
+// original quasi-identifier values are kept and the confidential values are
+// permuted within each cluster, breaking the QI↔confidential link while
+// losing no quasi-identifier information; see micro.AnatomyRelease.
+func AnatomyRelease(t *Table, clusters []Cluster, seed int64) (*Table, error) {
+	return micro.AnatomyRelease(t, clusters, seed)
+}
+
+// NTCloseness returns the (n,t)-closeness level of a partition — the
+// relaxed model of Li et al. that compares each class against its n-record
+// quasi-identifier neighborhood instead of the whole table; see
+// privacy.NTClosenessOf.
+func NTCloseness(t *Table, clusters []Cluster, n int) (float64, error) {
+	return privacy.NTClosenessOf(t, clusters, n)
+}
+
+// Comparison baselines beyond the paper's own algorithms (Section 3 related
+// work, implemented for the benchmark suite).
+const (
+	// SABREBaseline is the bucketization-and-redistribution framework of
+	// Cao et al., the closest prior t-closeness-specific method.
+	SABREBaseline = core.SABREBaseline
+	// IncognitoBaseline is the classical full-domain generalization lattice
+	// search with the t-closeness constraint (Li et al., ICDE 2007).
+	IncognitoBaseline = core.IncognitoBaseline
+)
+
+// LinkageRisk runs the distance-based record-linkage attack of the SDC
+// literature against a release and returns the fraction of records an
+// intruder holding the original quasi-identifiers re-identifies; see
+// package risk.
+func LinkageRisk(original, anonymized *Table) (float64, error) {
+	res, err := risk.DistanceLinkage(original, anonymized)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rate(), nil
+}
+
+// CorrelationDistortion measures how much a release distorts the
+// QI↔confidential Pearson correlations (mean absolute change over pairs);
+// see metrics.CorrelationDistortion.
+func CorrelationDistortion(original, anonymized *Table) (float64, error) {
+	return metrics.CorrelationDistortion(original, anonymized)
+}
