@@ -13,11 +13,18 @@
 // data size; the paper's claims live in the curve shapes (see
 // EXPERIMENTS.md).
 //
+// Figures 6 and 7 evaluate independent (dataset, k, t) cells, so the grid
+// fans out across -par worker goroutines (rows are still printed in grid
+// order). Figure 5 measures per-cell wall time and therefore always runs
+// sequentially — concurrent cells would contend for cores and corrupt the
+// timings.
+//
 // Usage:
 //
 //	benchfigs -fig 5 -n 2000   # figure 5 with a 2,000-record PD sample
 //	benchfigs                  # all figures with defaults
-//	benchfigs -fig 5 -n 23435  # the paper's full-size run (slow: Alg 2 is O(n³/k))
+//	benchfigs -fig 5 -n 23435  # the paper's full-size run
+//	benchfigs -fig 7 -par 4    # figure 7 on four workers
 package main
 
 import (
@@ -25,14 +32,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/synth"
 )
 
 var figTs = []float64{0.02, 0.04, 0.06, 0.09, 0.13, 0.17, 0.21, 0.25}
+
+var workers = flag.Int("par", runtime.GOMAXPROCS(0),
+	"worker goroutines for the figure 6/7 grid cells")
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate only this figure (5-7); 0 means all")
@@ -68,8 +80,14 @@ func anonymize(tbl *dataset.Table, alg core.Algorithm, k int, tl float64) *core.
 	return res
 }
 
+// runCells evaluates n independent grid cells on the -par workers.
+func runCells(n int, cell func(i int)) {
+	par.Cells(n, *workers, cell)
+}
+
 // figure5 prints run time (seconds) vs t for each algorithm on the Patient
-// Discharge data set with k=2.
+// Discharge data set with k=2. Cells run sequentially: each one's wall time
+// is the datum.
 func figure5(n int, skipAlg2 bool) {
 	fmt.Printf("FIGURE 5 — run time (s) vs t, Patient Discharge (n=%d), k=2\n", n)
 	fmt.Println("t\talgorithm\tseconds")
@@ -94,15 +112,29 @@ func figure6(n int, skipAlg2 bool) {
 		{"MCD", synth.CensusMCD()},
 		{"PatientDischarge", synth.PatientDischarge(n, synth.DefaultSeed)},
 	}
+	algs := algorithms(skipAlg2)
 	fmt.Println("FIGURE 6 — normalized SSE vs t, k=2")
 	fmt.Println("dataset\tt\talgorithm\tSSE")
-	for _, ds := range sets {
+	type cell struct {
+		ds  int
+		t   float64
+		alg core.Algorithm
+	}
+	var cells []cell
+	for ds := range sets {
 		for _, tl := range figTs {
-			for _, alg := range algorithms(skipAlg2) {
-				res := anonymize(ds.tbl, alg, 2, tl)
-				fmt.Printf("%s\t%.2f\t%v\t%.6f\n", ds.name, tl, alg, res.SSE)
+			for _, alg := range algs {
+				cells = append(cells, cell{ds, tl, alg})
 			}
 		}
+	}
+	sse := make([]float64, len(cells))
+	runCells(len(cells), func(i int) {
+		c := cells[i]
+		sse[i] = anonymize(sets[c.ds].tbl, c.alg, 2, c.t).SSE
+	})
+	for i, c := range cells {
+		fmt.Printf("%s\t%.2f\t%v\t%.6f\n", sets[c.ds].name, c.t, c.alg, sse[i])
 	}
 	fmt.Println()
 }
@@ -113,13 +145,27 @@ func figure7() {
 	fmt.Println("k\tt\talgorithm\tSSE")
 	tbl := synth.CensusMCD()
 	start := time.Now()
+	algs := []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst}
+	type cell struct {
+		k   int
+		t   float64
+		alg core.Algorithm
+	}
+	var cells []cell
 	for _, k := range []int{2, 6, 10, 14, 18, 22, 26, 30} {
 		for _, tl := range figTs {
-			for _, alg := range []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst} {
-				res := anonymize(tbl, alg, k, tl)
-				fmt.Printf("%d\t%.2f\t%v\t%.6f\n", k, tl, alg, res.SSE)
+			for _, alg := range algs {
+				cells = append(cells, cell{k, tl, alg})
 			}
 		}
+	}
+	sse := make([]float64, len(cells))
+	runCells(len(cells), func(i int) {
+		c := cells[i]
+		sse[i] = anonymize(tbl, c.alg, c.k, c.t).SSE
+	})
+	for i, c := range cells {
+		fmt.Printf("%d\t%.2f\t%v\t%.6f\n", c.k, c.t, c.alg, sse[i])
 	}
 	fmt.Fprintf(os.Stderr, "figure 7 time: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,109 @@
+// Command benchjson measures the BenchmarkFigure5 grid — the run time of
+// the three algorithms on the Patient Discharge data set at k=2 — and emits
+// the per-cell timings as JSON, giving the repository a machine-readable
+// performance trajectory across PRs (BENCH_1.json, BENCH_2.json, ...).
+//
+// Cells are measured sequentially (concurrency would contend for cores and
+// corrupt the timings); each cell is run -reps times and the minimum wall
+// time is reported, the standard way to suppress scheduler noise.
+//
+// Usage:
+//
+//	benchjson                      # n=1500 grid to stdout
+//	benchjson -o BENCH_1.json      # write the evidence file
+//	benchjson -n 23435 -reps 1     # full-size Patient Discharge
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Cell is one measured grid point.
+type Cell struct {
+	Algorithm string  `json:"algorithm"`
+	K         int     `json:"k"`
+	T         float64 `json:"t"`
+	NsOp      int64   `json:"ns_op"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmark string `json:"benchmark"`
+	Dataset   string `json:"dataset"`
+	N         int    `json:"n"`
+	Seed      int64  `json:"seed"`
+	Reps      int    `json:"reps"`
+	GoVersion string `json:"go_version"`
+	Note      string `json:"note,omitempty"`
+	Cells     []Cell `json:"cells"`
+}
+
+func main() {
+	n := flag.Int("n", 1500, "Patient Discharge sample size (1500 matches BenchmarkFigure5)")
+	reps := flag.Int("reps", 3, "runs per cell; the minimum is reported")
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the report (e.g. baseline comparison)")
+	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	tbl := synth.PatientDischarge(*n, synth.DefaultSeed)
+	algs := []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst}
+	ts := []float64{0.05, 0.13, 0.25} // the BenchmarkFigure5 subsample of the paper's t range
+	rep := Report{
+		Benchmark: "BenchmarkFigure5",
+		Dataset:   "PatientDischarge",
+		N:         *n,
+		Seed:      synth.DefaultSeed,
+		Reps:      *reps,
+		GoVersion: runtime.Version(),
+		Note:      *note,
+	}
+	for _, alg := range algs {
+		for _, tl := range ts {
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				if _, err := core.Anonymize(tbl, core.Config{
+					Algorithm: alg, K: 2, T: tl, SkipAssessment: true,
+				}); err != nil {
+					log.Fatalf("%v t=%v: %v", alg, tl, err)
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			rep.Cells = append(rep.Cells, Cell{
+				Algorithm: fmt.Sprintf("%v", alg),
+				K:         2,
+				T:         tl,
+				NsOp:      best.Nanoseconds(),
+				Seconds:   best.Seconds(),
+			})
+			fmt.Fprintf(os.Stderr, "%v t=%.2f: %v\n", alg, tl, best.Round(time.Microsecond))
+		}
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

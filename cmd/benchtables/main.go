@@ -9,11 +9,16 @@
 // shrinks and k grows, Algorithm 1 inflates most, Algorithm 2 much less, and
 // Algorithm 3 stays at the Eq. (3) size with perfectly balanced clusters.
 //
+// Every (algorithm, dataset, k, t) cell is independent, so the whole grid is
+// evaluated across -par worker goroutines before the tables are printed in
+// order.
+//
 // Usage:
 //
 //	benchtables            # all three tables
 //	benchtables -table 3   # only Table 3
 //	benchtables -quick     # reduced grid (skips the slowest cells)
+//	benchtables -par 4     # evaluate the grid on four workers
 package main
 
 import (
@@ -21,11 +26,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/synth"
 )
 
@@ -39,6 +46,7 @@ var (
 func main() {
 	table := flag.Int("table", 0, "regenerate only this table (1-3); 0 means all")
 	quick := flag.Bool("quick", false, "reduced grid for a fast run")
+	parFlag := flag.Int("par", runtime.GOMAXPROCS(0), "worker goroutines for the grid cells")
 	flag.Parse()
 
 	kGrid, tGrid := ks, ts
@@ -61,13 +69,29 @@ func main() {
 		}
 		fmt.Printf("TABLE %d — Algorithm %d (%v): actual microaggregation (min/avg cluster size)\n",
 			a.num, a.num, a.alg)
-		printTable(a.alg, mcd, hcd, kGrid, tGrid)
+		printTable(a.alg, mcd, hcd, kGrid, tGrid, *parFlag)
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func printTable(alg core.Algorithm, mcd, hcd *dataset.Table, kGrid []int, tGrid []float64) {
+func printTable(alg core.Algorithm, mcd, hcd *dataset.Table, kGrid []int, tGrid []float64, workers int) {
+	type cellKey struct {
+		tbl *dataset.Table
+		k   int
+		t   float64
+	}
+	var keys []cellKey
+	for _, k := range kGrid {
+		for _, tl := range tGrid {
+			keys = append(keys, cellKey{mcd, k, tl}, cellKey{hcd, k, tl})
+		}
+	}
+	results := make([]string, len(keys))
+	par.Cells(len(keys), workers, func(i int) {
+		results[i] = cell(alg, keys[i].tbl, keys[i].k, keys[i].t)
+	})
+
 	w := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprint(w, "\t")
@@ -80,10 +104,12 @@ func printTable(alg core.Algorithm, mcd, hcd *dataset.Table, kGrid []int, tGrid 
 		fmt.Fprint(w, "MCD\tHCD\t")
 	}
 	fmt.Fprintln(w)
+	i := 0
 	for _, k := range kGrid {
 		fmt.Fprintf(w, "k=%d\t", k)
-		for _, tl := range tGrid {
-			fmt.Fprintf(w, "%s\t%s\t", cell(alg, mcd, k, tl), cell(alg, hcd, k, tl))
+		for range tGrid {
+			fmt.Fprintf(w, "%s\t%s\t", results[i], results[i+1])
+			i += 2
 		}
 		fmt.Fprintln(w)
 	}

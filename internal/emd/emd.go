@@ -9,12 +9,33 @@
 //
 //	EMD(P,Q) = 1/(m-1) * Σ_{i=1..m} |Σ_{j<=i} (p_j - q_j)|
 //
-// which is O(m) to evaluate. The package precomputes, per confidential
-// attribute, a Space holding the value domain of the entire data set and the
-// data set's own distribution Q, so that the distance from any cluster's
-// empirical distribution P to Q can be computed and incrementally updated as
-// records are added, removed, or swapped (the inner loop of the paper's
-// Algorithm 2).
+// which is O(m) to evaluate directly. The package precomputes, per
+// confidential attribute, a Space holding the value domain of the entire
+// data set and the data set's own distribution Q, so that the distance from
+// any cluster's empirical distribution P to Q can be computed and
+// incrementally updated as records are added, removed, or swapped (the inner
+// loop of the paper's Algorithm 2).
+//
+// # Incremental geometry
+//
+// All distances are evaluated in exact integer arithmetic: for a cluster of
+// size s over a data set of n records, the cumulative deviation at bin b is
+//
+//	dev(b) = n·C(b) − s·QC(b)
+//
+// where C and QC are the integer prefix counts of the cluster and the data
+// set, and EMD = Σ|dev(b)| / (n·s·(m−1)). Between two bins occupied by the
+// cluster, C is constant, so dev is a nonincreasing affine function of the
+// precomputed data set prefix QC and its absolute sum over the run has a
+// closed form around a binary-searched zero crossing. A histogram therefore
+// maintains only its sorted list of occupied bins, and one full EMD — or one
+// virtual same-size swap, the inner-loop query of Algorithm 2 — costs
+// O(occ·log m) instead of O(m), where occ ≤ min(s, m) is the number of
+// occupied bins. Exactness makes the incremental results bit-identical to
+// the batch recomputation, so caller tie-breaking is unaffected.
+//
+// Integer range: the evaluation is exact while n·s·m < 2⁶³, i.e. for data
+// sets up to roughly two million records.
 package emd
 
 import (
@@ -35,6 +56,8 @@ type Space struct {
 	q       []float64 // data set probability mass per bin (counts/n)
 	binOf   []int     // record index -> bin index
 	qCounts []int     // raw counts per bin
+	qcPref  []int64   // qcPref[b] = Σ_{j<=b} qCounts[j]
+	sqcPref []int64   // sqcPref[b] = Σ_{j<=b} qcPref[j] (range sums of qcPref)
 	nominal bool      // total-variation (equal ground distance) instead of ordered
 }
 
@@ -64,14 +87,21 @@ func NewSpace(values []float64) (*Space, error) {
 		q:       make([]float64, len(uniq)),
 		binOf:   make([]int, n),
 		qCounts: make([]int, len(uniq)),
+		qcPref:  make([]int64, len(uniq)),
+		sqcPref: make([]int64, len(uniq)),
 	}
 	for i, v := range values {
 		b := sort.SearchFloat64s(uniq, v)
 		s.binOf[i] = b
 		s.qCounts[b]++
 	}
+	var qc, sqc int64
 	for b, c := range s.qCounts {
 		s.q[b] = float64(c) / float64(n)
+		qc += int64(c)
+		sqc += qc
+		s.qcPref[b] = qc
+		s.sqcPref[b] = sqc
 	}
 	return s, nil
 }
@@ -91,13 +121,62 @@ func (s *Space) Value(b int) float64 { return s.values[b] }
 // DatasetMass returns the data set probability mass of bin b.
 func (s *Space) DatasetMass(b int) float64 { return s.q[b] }
 
+// sqcAt returns sqcPref[b] with sqcAt(-1) = 0.
+func (s *Space) sqcAt(b int) int64 {
+	if b < 0 {
+		return 0
+	}
+	return s.sqcPref[b]
+}
+
+// runAbsSum returns Σ_{b∈[p,q)} |nK − sz·qcPref[b]|, the absolute cumulative
+// deviation over a run of bins where the cluster prefix count is the
+// constant K (nK is passed premultiplied by n). Because qcPref is
+// nondecreasing the deviation is nonincreasing over the run and changes sign
+// at most once; the crossing is binary-searched and both sides are summed in
+// closed form via the second-order prefix sqcPref. O(log(q−p)).
+func (s *Space) runAbsSum(p, q int, nK, sz int64) int64 {
+	if p >= q {
+		return 0
+	}
+	cross := p + sort.Search(q-p, func(i int) bool {
+		return sz*s.qcPref[p+i] > nK
+	})
+	var total int64
+	if cross > p {
+		total += nK*int64(cross-p) - sz*(s.sqcAt(cross-1)-s.sqcAt(p-1))
+	}
+	if cross < q {
+		total += sz*(s.sqcAt(q-1)-s.sqcAt(cross-1)) - nK*int64(q-cross)
+	}
+	return total
+}
+
 // Hist is the mutable empirical histogram of a cluster over a Space's bins.
 // The zero value is not usable; obtain one from Space.NewHist.
 type Hist struct {
 	space  *Space
 	counts []int
 	size   int
+	occ    []int // sorted bins with counts > 0
+	// absDev caches the integer numerator Σ|dev(b)| of the current EMD
+	// (ordered: over b ∈ [0, m−1); nominal: over all bins). It is
+	// invalidated by any mutation and rebuilt lazily, so a burst of virtual
+	// swap queries against one cluster state shares a single O(occ·log m)
+	// evaluation.
+	absDev   int64
+	absDevOK bool
 }
+
+// histOfAddLimit is the cluster size up to which HistOf maintains the
+// occupied-bin list per insertion; larger clusters batch-fill the counts and
+// scan the bins once, which is cheaper than O(size) inserts.
+const histOfAddLimit = 64
+
+// occFlatFactor decides when the run-decomposition is abandoned for a flat
+// O(m) scan: with more than m/occFlatFactor occupied bins the binary
+// searches cost more than walking every bin.
+const occFlatFactor = 4
 
 // NewHist returns an empty cluster histogram over the space.
 func (s *Space) NewHist() *Hist {
@@ -107,8 +186,20 @@ func (s *Space) NewHist() *Hist {
 // HistOf returns the histogram of the given record set.
 func (s *Space) HistOf(records []int) *Hist {
 	h := s.NewHist()
+	if len(records) <= histOfAddLimit {
+		for _, r := range records {
+			h.Add(r)
+		}
+		return h
+	}
 	for _, r := range records {
-		h.Add(r)
+		h.counts[s.binOf[r]]++
+	}
+	h.size = len(records)
+	for b, c := range h.counts {
+		if c > 0 {
+			h.occ = append(h.occ, b)
+		}
 	}
 	return h
 }
@@ -116,21 +207,56 @@ func (s *Space) HistOf(records []int) *Hist {
 // Size returns the number of records currently in the histogram.
 func (h *Hist) Size() int { return h.size }
 
+func (h *Hist) addBin(b int) {
+	if h.counts[b] == 0 {
+		i := sort.SearchInts(h.occ, b)
+		h.occ = append(h.occ, 0)
+		copy(h.occ[i+1:], h.occ[i:])
+		h.occ[i] = b
+	}
+	h.counts[b]++
+}
+
+func (h *Hist) removeBin(b int) {
+	if h.counts[b] == 0 {
+		panic(fmt.Sprintf("emd: removing record from empty bin %d", b))
+	}
+	h.counts[b]--
+	if h.counts[b] == 0 {
+		i := sort.SearchInts(h.occ, b)
+		h.occ = append(h.occ[:i], h.occ[i+1:]...)
+	}
+}
+
 // Add inserts record rec into the histogram.
 func (h *Hist) Add(rec int) {
-	h.counts[h.space.binOf[rec]]++
+	h.addBin(h.space.binOf[rec])
 	h.size++
+	h.absDevOK = false
 }
 
 // Remove deletes record rec from the histogram. It panics if the record's
 // bin is already empty, which indicates a bookkeeping bug in the caller.
 func (h *Hist) Remove(rec int) {
-	b := h.space.binOf[rec]
-	if h.counts[b] == 0 {
-		panic(fmt.Sprintf("emd: removing record %d from empty bin %d", rec, b))
-	}
-	h.counts[b]--
+	h.removeBin(h.space.binOf[rec])
 	h.size--
+	h.absDevOK = false
+}
+
+// Swap atomically removes record out and adds record in. It is equivalent to
+// Remove(out) followed by Add(in) but keeps the cached deviation sum alive
+// when both records share a bin.
+func (h *Hist) Swap(out, in int) {
+	ob, ib := h.space.binOf[out], h.space.binOf[in]
+	if ob == ib {
+		if h.counts[ob] == 0 {
+			panic(fmt.Sprintf("emd: removing record from empty bin %d", ob))
+		}
+		return
+	}
+	h.removeBin(ob)
+	h.addBin(ib)
+	h.absDevOK = false
 }
 
 // Merge adds every record counted in other into h. The two histograms must
@@ -139,96 +265,269 @@ func (h *Hist) Merge(other *Hist) {
 	if h.space != other.space {
 		panic("emd: merging histograms over different spaces")
 	}
-	for b, c := range other.counts {
-		h.counts[b] += c
+	merged := make([]int, 0, len(h.occ)+len(other.occ))
+	i, j := 0, 0
+	for i < len(h.occ) && j < len(other.occ) {
+		switch {
+		case h.occ[i] < other.occ[j]:
+			merged = append(merged, h.occ[i])
+			i++
+		case h.occ[i] > other.occ[j]:
+			merged = append(merged, other.occ[j])
+			j++
+		default:
+			merged = append(merged, h.occ[i])
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, h.occ[i:]...)
+	merged = append(merged, other.occ[j:]...)
+	h.occ = merged
+	for _, b := range other.occ {
+		h.counts[b] += other.counts[b]
 	}
 	h.size += other.size
+	h.absDevOK = false
 }
 
 // Clone returns an independent copy of the histogram.
 func (h *Hist) Clone() *Hist {
-	c := &Hist{space: h.space, counts: append([]int(nil), h.counts...), size: h.size}
-	return c
+	return &Hist{
+		space:    h.space,
+		counts:   append([]int(nil), h.counts...),
+		size:     h.size,
+		occ:      append([]int(nil), h.occ...),
+		absDev:   h.absDev,
+		absDevOK: h.absDevOK,
+	}
 }
 
 // EMD returns the Earth Mover's Distance (ordered distance) between the
 // cluster distribution and the data set distribution. An empty histogram or
 // a single-bin space has distance 0. The result is always in [0, 1/2].
+//
+// Cost: O(occ·log m) for a histogram occupying occ bins (O(m) when occ is a
+// large fraction of m); repeated calls on an unchanged histogram are O(1).
 func (h *Hist) EMD() float64 {
-	return h.emdWithSwap(-1, -1)
+	s := h.space
+	if s.m < 2 || h.size == 0 {
+		return 0
+	}
+	h.ensureAbsDev()
+	if s.nominal {
+		return float64(h.absDev) / (2 * float64(s.n) * float64(h.size))
+	}
+	return float64(h.absDev) / (float64(s.n) * float64(h.size) * float64(s.m-1))
+}
+
+// ensureAbsDev (re)computes the cached integer deviation numerator.
+func (h *Hist) ensureAbsDev() {
+	if h.absDevOK {
+		return
+	}
+	s := h.space
+	if s.nominal {
+		h.absDev = h.tvAbsDev()
+	} else if len(h.occ)*occFlatFactor >= s.m {
+		h.absDev = h.absDevFlat(-1, -1, int64(h.size))
+	} else {
+		h.absDev = h.absDevRuns()
+	}
+	h.absDevOK = true
+}
+
+// tvAbsDev returns Σ_b |n·c(b) − s·qc(b)| over all bins in O(occ): bins the
+// cluster does not occupy contribute s·qc(b), summing to s·(n − Σ_occ qc).
+func (h *Hist) tvAbsDev() int64 {
+	s := h.space
+	n64, sz := int64(s.n), int64(h.size)
+	var total, qcOcc int64
+	for _, b := range h.occ {
+		total += abs64(n64*int64(h.counts[b]) - sz*int64(s.qCounts[b]))
+		qcOcc += int64(s.qCounts[b])
+	}
+	return total + sz*(n64-qcOcc)
+}
+
+// absDevRuns returns Σ_{b∈[0,m−1)} |dev(b)| by decomposing the bin axis into
+// runs of constant cluster prefix count. O(occ·log m).
+func (h *Hist) absDevRuns() int64 {
+	s := h.space
+	n64, sz := int64(s.n), int64(h.size)
+	end := s.m - 1
+	var total int64
+	var K int64
+	p := 0
+	for _, b := range h.occ {
+		if b >= end {
+			break
+		}
+		total += s.runAbsSum(p, b, n64*K, sz)
+		K += int64(h.counts[b])
+		p = b
+	}
+	total += s.runAbsSum(p, end, n64*K, sz)
+	return total
+}
+
+// absDevFlat is the O(m) reference evaluation of the ordered deviation
+// numerator Σ_{b∈[0,m−1)} |n·C(b) − sz·QC(b)| with optional virtual removal
+// from outBin and addition to inBin (−1 to skip); sz must already account
+// for the virtual size change.
+func (h *Hist) absDevFlat(outBin, inBin int, sz int64) int64 {
+	s := h.space
+	n64 := int64(s.n)
+	var C, total int64
+	for b := 0; b < s.m-1; b++ {
+		C += int64(h.counts[b])
+		if b >= outBin && outBin >= 0 {
+			// prefix counts at and after outBin lose the removed record
+			C -= 1
+			outBin = -1 // subtract only once; C carries forward
+		}
+		if b >= inBin && inBin >= 0 {
+			C += 1
+			inBin = -1
+		}
+		total += abs64(n64*C - sz*s.qcPref[b])
+	}
+	return total
 }
 
 // EMDSwap returns the EMD the histogram would have after removing record
 // out and adding record in, without mutating the histogram. Pass out < 0 to
 // only add, in < 0 to only remove.
+//
+// A same-size swap is evaluated incrementally against the cached deviation
+// geometry in O(occΔ·log m), where occΔ is the number of occupied bins
+// between the two records' bins — O(1) on nominal spaces.
 func (h *Hist) EMDSwap(out, in int) float64 {
+	s := h.space
 	ob, ib := -1, -1
 	if out >= 0 {
-		ob = h.space.binOf[out]
+		ob = s.binOf[out]
 	}
 	if in >= 0 {
-		ib = h.space.binOf[in]
+		ib = s.binOf[in]
 	}
-	return h.emdWithSwap(ob, ib)
-}
-
-// emdWithSwap computes EMD with an optional virtual removal from bin outBin
-// and addition to bin inBin (each -1 to skip).
-func (h *Hist) emdWithSwap(outBin, inBin int) float64 {
-	s := h.space
 	if s.m < 2 {
 		return 0
 	}
+	if ob >= 0 && ib >= 0 {
+		if ob == ib || h.size == 0 {
+			return h.EMD()
+		}
+		h.ensureAbsDev()
+		if s.nominal {
+			return h.tvSwap(ob, ib)
+		}
+		if len(h.occ)*occFlatFactor >= s.m {
+			total := h.absDevFlat(ob, ib, int64(h.size))
+			return float64(total) / (float64(s.n) * float64(h.size) * float64(s.m-1))
+		}
+		return h.orderedSwap(ob, ib)
+	}
+	// One-sided add or remove changes the cluster size, renormalizing every
+	// bin: fall back to the flat evaluation.
 	size := h.size
-	if outBin >= 0 {
+	if ob >= 0 {
 		size--
 	}
-	if inBin >= 0 {
+	if ib >= 0 {
 		size++
 	}
 	if size <= 0 {
 		return 0
 	}
-	inv := 1.0 / float64(size)
 	if s.nominal {
-		// Total variation: 1/2 * Σ|p - q| over every bin.
-		var total float64
-		for b := 0; b < s.m; b++ {
-			c := h.counts[b]
-			if b == outBin {
-				c--
-			}
-			if b == inBin {
-				c++
-			}
-			d := float64(c)*inv - s.q[b]
-			if d < 0 {
-				d = -d
-			}
-			total += d
-		}
-		return total / 2
+		return h.tvVirtualFlat(ob, ib, int64(size))
 	}
-	var cum, total float64
-	// The i=m term of the sum is always zero (both distributions sum to 1),
-	// so the loop runs to m-1; keeping it would only accumulate rounding
-	// noise.
-	for b := 0; b < s.m-1; b++ {
-		c := h.counts[b]
+	total := h.absDevFlat(ob, ib, int64(size))
+	return float64(total) / (float64(s.n) * float64(size) * float64(s.m-1))
+}
+
+// tvSwap is the O(1) nominal (total variation) same-size swap query.
+func (h *Hist) tvSwap(ob, ib int) float64 {
+	s := h.space
+	n64, sz := int64(s.n), int64(h.size)
+	co, ci := int64(h.counts[ob]), int64(h.counts[ib])
+	delta := abs64(n64*(co-1)-sz*int64(s.qCounts[ob])) - abs64(n64*co-sz*int64(s.qCounts[ob])) +
+		abs64(n64*(ci+1)-sz*int64(s.qCounts[ib])) - abs64(n64*ci-sz*int64(s.qCounts[ib]))
+	return float64(h.absDev+delta) / (2 * float64(s.n) * float64(h.size))
+}
+
+// tvVirtualFlat is the O(occ) nominal evaluation with a virtual size change.
+func (h *Hist) tvVirtualFlat(outBin, inBin int, sz int64) float64 {
+	s := h.space
+	n64 := int64(s.n)
+	var total, qcOcc int64
+	seenOut, seenIn := false, false
+	for _, b := range h.occ {
+		c := int64(h.counts[b])
 		if b == outBin {
 			c--
+			seenOut = true
 		}
 		if b == inBin {
 			c++
+			seenIn = true
 		}
-		cum += float64(c)*inv - s.q[b]
-		if cum >= 0 {
-			total += cum
-		} else {
-			total -= cum
-		}
+		total += abs64(n64*c - sz*int64(s.qCounts[b]))
+		qcOcc += int64(s.qCounts[b])
 	}
-	return total / float64(s.m-1)
+	if outBin >= 0 && !seenOut {
+		// virtual removal from an unoccupied bin (count goes negative);
+		// consistent with the definition, used only by misbehaving callers
+		total += abs64(n64*(-1)-sz*int64(s.qCounts[outBin])) - sz*int64(s.qCounts[outBin])
+	}
+	if inBin >= 0 && !seenIn {
+		total += abs64(n64-sz*int64(s.qCounts[inBin])) - sz*int64(s.qCounts[inBin])
+	}
+	return float64(total+sz*(n64-qcOcc)) / (2 * float64(s.n) * float64(sz))
+}
+
+// orderedSwap evaluates the same-size swap on an ordered space by
+// recomputing only the runs between the two bins: within [lo, hi) the
+// cluster prefix count shifts by ±1 and dev by ±n.
+func (h *Hist) orderedSwap(ob, ib int) float64 {
+	s := h.space
+	n64, sz := int64(s.n), int64(h.size)
+	lo, hi := ob, ib
+	var sigma int64 = -1 // removing below adding: prefixes in between lose one
+	if ib < ob {
+		lo, hi = ib, ob
+		sigma = 1
+	}
+	end := hi
+	if end > s.m-1 {
+		end = s.m - 1
+	}
+	// Cluster prefix count K at bin lo (inclusive).
+	i := 0
+	var K int64
+	for ; i < len(h.occ) && h.occ[i] <= lo; i++ {
+		K += int64(h.counts[h.occ[i]])
+	}
+	var base, swapped int64
+	p := lo
+	for ; i < len(h.occ) && h.occ[i] < end; i++ {
+		b := h.occ[i]
+		base += s.runAbsSum(p, b, n64*K, sz)
+		swapped += s.runAbsSum(p, b, n64*(K+sigma), sz)
+		K += int64(h.counts[b])
+		p = b
+	}
+	base += s.runAbsSum(p, end, n64*K, sz)
+	swapped += s.runAbsSum(p, end, n64*(K+sigma), sz)
+	return float64(h.absDev-base+swapped) /
+		(float64(s.n) * float64(h.size) * float64(s.m-1))
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // EMDOf computes the EMD of an explicit record set against the data set

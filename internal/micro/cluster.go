@@ -165,26 +165,19 @@ func Nearest(points [][]float64, rows []int, p []float64) int {
 }
 
 // KNearest returns the k rows among rows whose points are nearest to p (p
-// itself may be one of them if its row is in rows), in ascending distance
-// order. If fewer than k rows are available, all are returned.
+// itself may be one of them if its row is in rows), in ascending
+// (distance, row) order. If fewer than k rows are available, all are
+// returned. Selection is partial — O(len(rows) + k·log k) instead of a full
+// sort — but the output order, including ties, matches the sort exactly.
 func KNearest(points [][]float64, rows []int, p []float64, k int) []int {
-	type rd struct {
-		row int
-		d   float64
+	if k > len(rows) {
+		k = len(rows)
 	}
-	ds := make([]rd, len(rows))
+	ds := make([]distRow, len(rows))
 	for i, r := range rows {
-		ds[i] = rd{row: r, d: Dist2(points[r], p)}
+		ds[i] = distRow{row: r, d: Dist2(points[r], p)}
 	}
-	sort.Slice(ds, func(i, j int) bool {
-		if ds[i].d != ds[j].d {
-			return ds[i].d < ds[j].d
-		}
-		return ds[i].row < ds[j].row
-	})
-	if k > len(ds) {
-		k = len(ds)
-	}
+	selectSmallest(ds, k)
 	out := make([]int, k)
 	for i := 0; i < k; i++ {
 		out[i] = ds[i].row

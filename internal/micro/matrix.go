@@ -1,0 +1,372 @@
+package micro
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Matrix is a flat row-major point store: n rows of dim float64 values in
+// one contiguous backing array, stride-indexed for cache locality. The hot
+// distance scans of the partition heuristics run over a Matrix instead of a
+// [][]float64 so that walking consecutive rows touches consecutive memory.
+type Matrix struct {
+	data []float64
+	n    int
+	dim  int
+}
+
+// NewMatrix copies points into a flat row-major Matrix. All rows must have
+// the same length.
+func NewMatrix(points [][]float64) *Matrix {
+	n := len(points)
+	if n == 0 {
+		return &Matrix{}
+	}
+	dim := len(points[0])
+	m := &Matrix{data: make([]float64, n*dim), n: n, dim: dim}
+	for i, p := range points {
+		copy(m.data[i*dim:(i+1)*dim], p)
+	}
+	return m
+}
+
+// N returns the number of rows.
+func (m *Matrix) N() int { return m.n }
+
+// Dim returns the number of columns per row.
+func (m *Matrix) Dim() int { return m.dim }
+
+// Row returns row i as a slice aliasing the backing array.
+func (m *Matrix) Row(i int) []float64 {
+	return m.data[i*m.dim : (i+1)*m.dim : (i+1)*m.dim]
+}
+
+// RowDist2 returns the squared Euclidean distance between row i and point p.
+func (m *Matrix) RowDist2(i int, p []float64) float64 {
+	row := m.data[i*m.dim : (i+1)*m.dim]
+	var s float64
+	for j, v := range p {
+		d := row[j] - v
+		s += d * d
+	}
+	return s
+}
+
+// parallelScanMin is the number of candidate rows below which a distance
+// scan stays single-threaded: goroutine fan-out only pays for itself on
+// large remainders (full-size data sets), and small scans dominate the tail
+// of every partition run.
+const parallelScanMin = 8192
+
+// scanWorkers returns the fan-out for a parallel scan over nRows.
+func scanWorkers(nRows int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if nRows < parallelScanMin || w < 2 {
+		return 1
+	}
+	return w
+}
+
+// chunkBounds splits [0,n) into w near-equal chunks and returns the
+// boundaries of chunk i.
+func chunkBounds(n, w, i int) (lo, hi int) {
+	lo = i * n / w
+	hi = (i + 1) * n / w
+	return lo, hi
+}
+
+// Farthest returns the row among rows whose point is farthest (squared
+// Euclidean) from p. Ties break toward the earliest position in rows, which
+// for the ascending row sets used by the partitioners is the lowest index —
+// matching the serial scan exactly, so parallel execution is deterministic.
+func (m *Matrix) Farthest(rows []int, p []float64) int {
+	w := scanWorkers(len(rows))
+	if w == 1 {
+		best, bestD := -1, -1.0
+		for _, r := range rows {
+			if d := m.RowDist2(r, p); d > bestD {
+				best, bestD = r, d
+			}
+		}
+		return best
+	}
+	bestRow := make([]int, w)
+	bestD := make([]float64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := chunkBounds(len(rows), w, i)
+			b, bd := -1, -1.0
+			for _, r := range rows[lo:hi] {
+				if d := m.RowDist2(r, p); d > bd {
+					b, bd = r, d
+				}
+			}
+			bestRow[i], bestD[i] = b, bd
+		}(i)
+	}
+	wg.Wait()
+	best, bd := -1, -1.0
+	for i := 0; i < w; i++ {
+		if bestRow[i] >= 0 && bestD[i] > bd {
+			best, bd = bestRow[i], bestD[i]
+		}
+	}
+	return best
+}
+
+// Nearest returns the row among rows whose point is nearest to p, breaking
+// ties toward the earliest position in rows.
+func (m *Matrix) Nearest(rows []int, p []float64) int {
+	w := scanWorkers(len(rows))
+	if w == 1 {
+		best, bestD := -1, -1.0
+		for _, r := range rows {
+			if d := m.RowDist2(r, p); best == -1 || d < bestD {
+				best, bestD = r, d
+			}
+		}
+		return best
+	}
+	bestRow := make([]int, w)
+	bestD := make([]float64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := chunkBounds(len(rows), w, i)
+			b, bd := -1, -1.0
+			for _, r := range rows[lo:hi] {
+				if d := m.RowDist2(r, p); b == -1 || d < bd {
+					b, bd = r, d
+				}
+			}
+			bestRow[i], bestD[i] = b, bd
+		}(i)
+	}
+	wg.Wait()
+	best, bd := -1, -1.0
+	for i := 0; i < w; i++ {
+		if bestRow[i] >= 0 && (best == -1 || bestD[i] < bd) {
+			best, bd = bestRow[i], bestD[i]
+		}
+	}
+	return best
+}
+
+// distRow pairs a candidate row with its squared distance to the query
+// point; the total order (d, then row) is the tie-breaking order every
+// selection routine in the package agrees on.
+type distRow struct {
+	d   float64
+	row int
+}
+
+func distRowLess(a, b distRow) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.row < b.row
+}
+
+// fillDists computes the distances from every candidate row to p, fanning
+// out across goroutines for large candidate sets (each chunk writes a
+// disjoint range, so the result is deterministic).
+func (m *Matrix) fillDists(ds []distRow, rows []int, p []float64) {
+	w := scanWorkers(len(rows))
+	if w == 1 {
+		for i, r := range rows {
+			ds[i] = distRow{d: m.RowDist2(r, p), row: r}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := chunkBounds(len(rows), w, i)
+			for j := lo; j < hi; j++ {
+				ds[j] = distRow{d: m.RowDist2(rows[j], p), row: rows[j]}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// selectSmallest partially sorts ds so that ds[:k] holds the k smallest
+// entries in (d, row) order. Quickselect with median-of-three pivoting gives
+// O(len(ds)) expected time, and the final sort of the k survivors restores
+// the exact output order of a full sort. The (d, row) order is total (rows
+// are distinct), so the result does not depend on pivot choices.
+func selectSmallest(ds []distRow, k int) {
+	lo, hi := 0, len(ds)
+	for hi-lo > 1 && k > lo && k < hi {
+		pivot := medianOfThree(ds, lo, hi)
+		i, j := lo, hi-1
+		for i <= j {
+			for distRowLess(ds[i], pivot) {
+				i++
+			}
+			for distRowLess(pivot, ds[j]) {
+				j--
+			}
+			if i <= j {
+				ds[i], ds[j] = ds[j], ds[i]
+				i++
+				j--
+			}
+		}
+		// Invariant: ds[lo:i] <= pivot <= ds[i:hi] elementwise (with the
+		// middle band equal to pivot); recurse into the side containing k.
+		if k <= j {
+			hi = j + 1
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	sort.Slice(ds[:k], func(i, j int) bool { return distRowLess(ds[i], ds[j]) })
+}
+
+func medianOfThree(ds []distRow, lo, hi int) distRow {
+	a, b, c := ds[lo], ds[lo+(hi-lo)/2], ds[hi-1]
+	if distRowLess(b, a) {
+		a, b = b, a
+	}
+	if distRowLess(c, b) {
+		b = c
+		if distRowLess(b, a) {
+			b = a
+		}
+	}
+	return b
+}
+
+// KNearest returns the k rows among rows whose points are nearest to p, in
+// ascending (distance, row) order — the same order, including ties, as
+// sorting every candidate. Cost is O(len(rows) + k·log k) instead of the
+// full sort's O(len(rows)·log len(rows)).
+func (m *Matrix) KNearest(rows []int, p []float64, k int) []int {
+	if k > len(rows) {
+		k = len(rows)
+	}
+	ds := make([]distRow, len(rows))
+	m.fillDists(ds, rows, p)
+	selectSmallest(ds, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].row
+	}
+	return out
+}
+
+// RunningCentroid maintains the mean point of a shrinking row set in O(dim)
+// per removed row, replacing the O(remaining·dim) full rescan the partition
+// heuristics used to pay at the top of every cluster round.
+type RunningCentroid struct {
+	m   *Matrix
+	sum []float64
+	cnt int
+	buf []float64
+}
+
+// NewRunningCentroid sums every row of the matrix.
+func NewRunningCentroid(m *Matrix) *RunningCentroid {
+	rc := &RunningCentroid{
+		m:   m,
+		sum: make([]float64, m.dim),
+		buf: make([]float64, m.dim),
+		cnt: m.n,
+	}
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			rc.sum[j] += v
+		}
+	}
+	return rc
+}
+
+// RemoveRows subtracts the given rows from the running sum.
+func (rc *RunningCentroid) RemoveRows(rows []int) {
+	for _, r := range rows {
+		row := rc.m.Row(r)
+		for j, v := range row {
+			rc.sum[j] -= v
+		}
+	}
+	rc.cnt -= len(rows)
+}
+
+// Count returns the number of rows still in the sum.
+func (rc *RunningCentroid) Count() int { return rc.cnt }
+
+// rcExactCutoff is the remainder size below which CentroidOf recomputes the
+// mean from scratch instead of using the running sum. Small remainders are
+// where structurally exact distance ties live (e.g. the final two records
+// are always equidistant from their midpoint), and there the winner is
+// decided by rounding noise — recomputing with the same summation order as
+// the naive implementation keeps the choice bit-identical to it. For large
+// remainders the incremental drift (~1e-14) is far below any non-tied
+// distance gap.
+const rcExactCutoff = 128
+
+// CentroidOf returns the mean point of rows, which must be exactly the rows
+// still in the running sum. The returned slice is reused by subsequent
+// calls. O(dim) per call for large row sets, an exact O(len(rows)·dim)
+// rescan below rcExactCutoff.
+func (rc *RunningCentroid) CentroidOf(rows []int) []float64 {
+	if len(rows) <= rcExactCutoff {
+		for j := range rc.buf {
+			rc.buf[j] = 0
+		}
+		for _, r := range rows {
+			row := rc.m.Row(r)
+			for j, v := range row {
+				rc.buf[j] += v
+			}
+		}
+		inv := 1.0 / float64(len(rows))
+		for j := range rc.buf {
+			rc.buf[j] *= inv
+		}
+		return rc.buf
+	}
+	inv := 1.0 / float64(rc.cnt)
+	for j, v := range rc.sum {
+		rc.buf[j] = v * inv
+	}
+	return rc.buf
+}
+
+// FilterRows returns remaining minus the rows in drop, preserving order. It
+// is the shared sorted-remove helper of every partition loop: scratch must
+// have length at least the maximum row index plus one; it is used as a
+// membership marker and reset before returning, so a single allocation
+// serves every call of a partition run (the per-call map the previous
+// removeRows/removeSorted copies allocated was a measurable share of the
+// hot loop).
+func FilterRows(remaining, drop []int, scratch []bool) []int {
+	for _, r := range drop {
+		scratch[r] = true
+	}
+	out := remaining[:0]
+	for _, r := range remaining {
+		if !scratch[r] {
+			out = append(out, r)
+		}
+	}
+	for _, r := range drop {
+		scratch[r] = false
+	}
+	return out
+}

@@ -14,8 +14,19 @@ package micro
 // MDAV partitions points (a row-major matrix of normalized quasi-identifier
 // vectors) into clusters of size at least k. If len(points) < 2k the result
 // is a single cluster containing every record.
+//
+// The implementation keeps the remaining-set centroid as a running sum
+// (O(k·dim) to update per extracted cluster instead of an O(n·dim) rescan),
+// selects the k nearest records by partial selection instead of a full
+// sort, and scans distances over a flat stride-indexed copy of the points,
+// in parallel for large remainders.
 func MDAV(points [][]float64, k int) ([]Cluster, error) {
-	n := len(points)
+	return MDAVMatrix(NewMatrix(points), k)
+}
+
+// MDAVMatrix is MDAV over an already-flattened point matrix.
+func MDAVMatrix(m *Matrix, k int) ([]Cluster, error) {
+	n := m.N()
 	if n == 0 {
 		return nil, ErrEmpty
 	}
@@ -26,42 +37,27 @@ func MDAV(points [][]float64, k int) ([]Cluster, error) {
 	for i := range remaining {
 		remaining[i] = i
 	}
+	rc := NewRunningCentroid(m)
+	scratch := make([]bool, n)
 	var clusters []Cluster
 	for len(remaining) >= 3*k {
-		c := Centroid(points, remaining)
-		xr := Farthest(points, remaining, c)
-		cluster1 := KNearest(points, remaining, points[xr], k)
-		remaining = removeRows(remaining, cluster1)
-		xs := Farthest(points, remaining, points[xr])
-		cluster2 := KNearest(points, remaining, points[xs], k)
-		remaining = removeRows(remaining, cluster2)
+		xr := m.Farthest(remaining, rc.CentroidOf(remaining))
+		cluster1 := m.KNearest(remaining, m.Row(xr), k)
+		remaining = FilterRows(remaining, cluster1, scratch)
+		rc.RemoveRows(cluster1)
+		xs := m.Farthest(remaining, m.Row(xr))
+		cluster2 := m.KNearest(remaining, m.Row(xs), k)
+		remaining = FilterRows(remaining, cluster2, scratch)
+		rc.RemoveRows(cluster2)
 		clusters = append(clusters, Cluster{Rows: cluster1}, Cluster{Rows: cluster2})
 	}
 	if len(remaining) >= 2*k {
-		c := Centroid(points, remaining)
-		xr := Farthest(points, remaining, c)
-		cluster1 := KNearest(points, remaining, points[xr], k)
-		remaining = removeRows(remaining, cluster1)
+		xr := m.Farthest(remaining, rc.CentroidOf(remaining))
+		cluster1 := m.KNearest(remaining, m.Row(xr), k)
+		remaining = FilterRows(remaining, cluster1, scratch)
 		clusters = append(clusters, Cluster{Rows: cluster1}, Cluster{Rows: remaining})
 	} else if len(remaining) > 0 {
 		clusters = append(clusters, Cluster{Rows: remaining})
 	}
 	return clusters, nil
-}
-
-// removeRows returns remaining minus the rows in drop, preserving order.
-// drop is small (O(k)) so the linear scan per element is cheaper in practice
-// than building a set.
-func removeRows(remaining, drop []int) []int {
-	dropSet := make(map[int]struct{}, len(drop))
-	for _, r := range drop {
-		dropSet[r] = struct{}{}
-	}
-	out := remaining[:0]
-	for _, r := range remaining {
-		if _, gone := dropSet[r]; !gone {
-			out = append(out, r)
-		}
-	}
-	return out
 }

@@ -30,12 +30,14 @@ func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
 	for i := range remaining {
 		remaining[i] = i
 	}
+	scratch := make([]bool, n)
+	one := make([]int, 1)
 	var clusters []Cluster
 	for len(remaining) >= 2*k {
 		c := Centroid(points, remaining)
 		xr := Farthest(points, remaining, c)
 		rows := KNearest(points, remaining, points[xr], k)
-		remaining = removeRows(remaining, rows)
+		remaining = FilterRows(remaining, rows, scratch)
 		// Extension: absorb up to k-1 more records that are locally closer
 		// to this cluster than to the rest of the unassigned points.
 		for len(rows) < 2*k-1 && len(remaining) > k {
@@ -45,7 +47,8 @@ func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
 			din := nearestNeighborDist2(points, remaining, u)
 			if du < gamma*din {
 				rows = append(rows, u)
-				remaining = removeRows(remaining, []int{u})
+				one[0] = u
+				remaining = FilterRows(remaining, one, scratch)
 			} else {
 				break
 			}

@@ -1,0 +1,34 @@
+// Package par holds the small concurrency helpers shared by the benchmark
+// drivers.
+package par
+
+import "sync"
+
+// Cells evaluates n independent work items on a bounded pool of worker
+// goroutines and returns when all are done. Each item must write only its
+// own result slot, which keeps the overall output deterministic regardless
+// of scheduling. workers < 1 is treated as 1.
+func Cells(n, workers int, cell func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				cell(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,8 +1,6 @@
 package tclose
 
 import (
-	"sort"
-
 	"repro/internal/dataset"
 	"repro/internal/micro"
 )
@@ -15,9 +13,12 @@ import (
 // refinement could not bring within t. The result therefore always satisfies
 // t-closeness.
 //
-// Cost: O(n^3/k) in the worst case (each cluster may scan all remaining
-// records, evaluating one EMD per in-cluster eviction candidate), O(n^2/k)
-// when no swaps are needed.
+// The swap refinement runs on the incremental EMD geometry of package emd
+// (see the package Performance section): candidates come off a lazily
+// consumed heap, eviction candidates are deduplicated by confidential-bin
+// signature, candidates whose signature already failed against the current
+// cluster state are skipped in O(1), and each surviving evaluation costs
+// O(occΔ·log m) instead of the naive full-histogram walk.
 func Algorithm2(t *dataset.Table, k int, tLevel float64) (*Result, error) {
 	p, err := newProblem(t, k, tLevel)
 	if err != nil {
@@ -56,32 +57,90 @@ func Algorithm2Standalone(t *dataset.Table, k int, tLevel float64) (*Result, err
 // kAnonymityFirstPartition builds clusters MDAV-style (around the record
 // farthest from the centroid of the unclustered records, then around the
 // record farthest from that one), refining each cluster with generateCluster
-// before moving on.
+// before moving on. The centroid of the unclustered records is maintained
+// incrementally (O(kd) per extracted cluster instead of an O(nd) rescan).
 func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
 	n := p.table.Len()
 	avail := make([]int, n)
 	for i := range avail {
 		avail[i] = i
 	}
+	rc := micro.NewRunningCentroid(p.mat)
 	var clusters []micro.Cluster
 	swaps := 0
 	for len(avail) > 0 {
-		xa := micro.Centroid(p.points, avail)
-		x0 := micro.Farthest(p.points, avail, xa)
+		x0 := p.mat.Farthest(avail, rc.CentroidOf(avail))
 		c, s := p.generateCluster(x0, avail)
 		swaps += s
-		avail = removeSorted(avail, c)
+		avail = micro.FilterRows(avail, c, p.rowScratch)
+		rc.RemoveRows(c)
 		clusters = append(clusters, micro.Cluster{Rows: c})
 		if len(avail) == 0 {
 			break
 		}
-		x1 := micro.Farthest(p.points, avail, p.points[x0])
+		x1 := p.mat.Farthest(avail, p.mat.Row(x0))
 		c, s = p.generateCluster(x1, avail)
 		swaps += s
-		avail = removeSorted(avail, c)
+		avail = micro.FilterRows(avail, c, p.rowScratch)
+		rc.RemoveRows(c)
 		clusters = append(clusters, micro.Cluster{Rows: c})
 	}
 	return clusters, swaps
+}
+
+// candHeap is a binary min-heap of swap candidates in ascending (QI
+// distance, row) order — the exact order the naive implementation obtained
+// by fully sorting all candidates up front. Lazy consumption means a
+// cluster that reaches t after few candidates pays O(n + taken·log n)
+// instead of the unconditional O(n log n) sort.
+type candHeap struct {
+	d   []float64
+	row []int
+}
+
+func (h *candHeap) len() int { return len(h.row) }
+
+func (h *candHeap) less(i, j int) bool {
+	if h.d[i] != h.d[j] {
+		return h.d[i] < h.d[j]
+	}
+	return h.row[i] < h.row[j]
+}
+
+func (h *candHeap) init() {
+	for i := len(h.row)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *candHeap) siftDown(i int) {
+	n := len(h.row)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		next := l
+		if r := l + 1; r < n && h.less(r, l) {
+			next = r
+		}
+		if !h.less(next, i) {
+			return
+		}
+		h.d[i], h.d[next] = h.d[next], h.d[i]
+		h.row[i], h.row[next] = h.row[next], h.row[i]
+		i = next
+	}
+}
+
+// pop removes and returns the nearest remaining candidate row.
+func (h *candHeap) pop() int {
+	top := h.row[0]
+	last := len(h.row) - 1
+	h.d[0], h.row[0] = h.d[last], h.row[last]
+	h.d, h.row = h.d[:last], h.row[:last]
+	h.siftDown(0)
+	return top
 }
 
 // generateCluster implements the paper's GenerateCluster: starting from the
@@ -93,58 +152,65 @@ func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
 // in (and records swapped out) remain available to later clusters — only the
 // returned cluster is removed from the caller's pool.
 //
+// Two memoizations prune the refinement without changing its outcome, since
+// every EMD depends only on the multiset of confidential bins:
+//
+//   - eviction candidates sharing a bin signature yield identical post-swap
+//     EMDs, so only the first of each signature is evaluated (the naive loop
+//     picked the lowest-index minimum, which is exactly the first
+//     occurrence);
+//   - a candidate whose signature was already tried against the *current*
+//     cluster state without improvement would fail again, so it is skipped;
+//     the memo is cleared whenever a swap changes the cluster.
+//
 // If fewer than 2k records remain, they all form the final cluster.
 func (p *problem) generateCluster(x int, avail []int) (cluster []int, swaps int) {
 	if len(avail) < 2*p.k {
 		return append([]int(nil), avail...), 0
 	}
-	// All available records sorted by QI distance to x: the first k seed the
-	// cluster; the rest are swap candidates in order.
-	cands := make([]int, len(avail))
-	copy(cands, avail)
-	px := p.points[x]
-	sort.Slice(cands, func(i, j int) bool {
-		di, dj := micro.Dist2(p.points[cands[i]], px), micro.Dist2(p.points[cands[j]], px)
-		if di != dj {
-			return di < dj
-		}
-		return cands[i] < cands[j]
-	})
-	cluster = append([]int(nil), cands[:p.k]...)
+	heap := &candHeap{d: make([]float64, len(avail)), row: make([]int, len(avail))}
+	px := p.mat.Row(x)
+	for i, r := range avail {
+		heap.d[i] = p.mat.RowDist2(r, px)
+		heap.row[i] = r
+	}
+	heap.init()
+	cluster = make([]int, 0, p.k)
+	for len(cluster) < p.k {
+		cluster = append(cluster, heap.pop())
+	}
 	hs := p.newHistSet(cluster)
 	cur := hs.emd()
-	for _, y := range cands[p.k:] {
-		if cur <= p.t {
-			break
+	sigOK := p.sigs != nil
+	if sigOK {
+		p.rejected.reset()
+	}
+	for cur > p.t && heap.len() > 0 {
+		y := heap.pop()
+		if sigOK && p.rejected.testAndSet(p.sigs[y]) {
+			continue
 		}
 		bestIdx, bestEMD := -1, cur
+		if sigOK {
+			p.evaluated.reset()
+		}
 		for i, out := range cluster {
+			if sigOK && p.evaluated.testAndSet(p.sigs[out]) {
+				continue
+			}
 			if d := hs.emdSwap(out, y); d < bestEMD {
 				bestIdx, bestEMD = i, d
 			}
 		}
 		if bestIdx >= 0 {
-			hs.remove(cluster[bestIdx])
-			hs.add(y)
+			hs.swap(cluster[bestIdx], y)
 			cluster[bestIdx] = y
 			cur = bestEMD
 			swaps++
+			if sigOK {
+				p.rejected.reset()
+			}
 		}
 	}
 	return cluster, swaps
-}
-
-// removeSorted returns avail minus drop, preserving order.
-func removeSorted(avail, drop []int) []int {
-	dropSet := make(map[int]struct{}, len(drop))
-	for _, r := range drop {
-		dropSet[r] = struct{}{}
-	}
-	out := avail[:0]
-	for _, r := range avail {
-		if _, gone := dropSet[r]; !gone {
-			out = append(out, r)
-		}
-	}
-	return out
 }

@@ -112,7 +112,9 @@ func (p *problem) rankSubsets(k int) [][]int {
 
 // tClosenessFirstPartition forms floor(n/k) clusters, each with exactly one
 // QI-nearest record per rank subset plus at most one extra record from a
-// central subset while extras remain.
+// central subset while extras remain. The centroid of the remaining records
+// is maintained incrementally and the distance scans run over the flat
+// point matrix (parallelized for large remainders).
 func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 	n := p.table.Len()
 	subsets := p.rankSubsets(k)
@@ -124,13 +126,14 @@ func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 	for i := range remaining {
 		remaining[i] = i
 	}
+	rc := micro.NewRunningCentroid(p.mat)
 	build := func(seed []float64) micro.Cluster {
 		rows := make([]int, 0, k+1)
 		for i := 0; i < k; i++ {
 			if len(subsets[i]) == 0 {
 				continue
 			}
-			x := micro.Nearest(p.points, subsets[i], seed)
+			x := p.mat.Nearest(subsets[i], seed)
 			subsets[i] = removeOne(subsets[i], x)
 			rows = append(rows, x)
 		}
@@ -145,23 +148,23 @@ func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 			}
 		}
 		if at >= 0 && surplus > 0 {
-			x := micro.Nearest(p.points, subsets[at], seed)
+			x := p.mat.Nearest(subsets[at], seed)
 			subsets[at] = removeOne(subsets[at], x)
 			rows = append(rows, x)
 		}
-		remaining = removeSorted(remaining, rows)
+		remaining = micro.FilterRows(remaining, rows, p.rowScratch)
+		rc.RemoveRows(rows)
 		return micro.Cluster{Rows: rows}
 	}
 	for len(remaining) > 0 {
-		xa := micro.Centroid(p.points, remaining)
-		x0 := micro.Farthest(p.points, remaining, xa)
-		c := build(p.points[x0])
+		x0 := p.mat.Farthest(remaining, rc.CentroidOf(remaining))
+		c := build(p.mat.Row(x0))
 		clusters = append(clusters, c)
 		if len(remaining) == 0 {
 			break
 		}
-		x1 := micro.Farthest(p.points, remaining, p.points[x0])
-		clusters = append(clusters, build(p.points[x1]))
+		x1 := p.mat.Farthest(remaining, p.mat.Row(x0))
+		clusters = append(clusters, build(p.mat.Row(x1)))
 	}
 	return clusters
 }

@@ -1,0 +1,164 @@
+package tclose
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/micro"
+	"repro/internal/synth"
+)
+
+// This file pins the optimized Algorithm 2 machinery — lazy candidate heap,
+// eviction deduplication by bin signature, rejected-signature memoization,
+// incremental centroids — to the naive control flow the package shipped
+// with: full candidate sort, every eviction evaluated, fresh centroid
+// rescans. Both sides share the exact integer EMD engine (itself pinned to
+// the floating-point reference in package emd), so the partitions must be
+// identical, not merely close.
+
+// referenceGenerateCluster is the pre-optimization swap refinement.
+func referenceGenerateCluster(p *problem, x int, avail []int) (cluster []int, swaps int) {
+	if len(avail) < 2*p.k {
+		return append([]int(nil), avail...), 0
+	}
+	cands := make([]int, len(avail))
+	copy(cands, avail)
+	px := p.points[x]
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := micro.Dist2(p.points[cands[i]], px), micro.Dist2(p.points[cands[j]], px)
+		if di != dj {
+			return di < dj
+		}
+		return cands[i] < cands[j]
+	})
+	cluster = append([]int(nil), cands[:p.k]...)
+	hs := p.newHistSet(cluster)
+	cur := hs.emd()
+	for _, y := range cands[p.k:] {
+		if cur <= p.t {
+			break
+		}
+		bestIdx, bestEMD := -1, cur
+		for i, out := range cluster {
+			if d := hs.emdSwap(out, y); d < bestEMD {
+				bestIdx, bestEMD = i, d
+			}
+		}
+		if bestIdx >= 0 {
+			hs.remove(cluster[bestIdx])
+			hs.add(y)
+			cluster[bestIdx] = y
+			cur = bestEMD
+			swaps++
+		}
+	}
+	return cluster, swaps
+}
+
+// referenceKAnonymityFirstPartition is the pre-optimization outer loop:
+// fresh centroid rescan per round and map-based removal.
+func referenceKAnonymityFirstPartition(p *problem) ([]micro.Cluster, int) {
+	n := p.table.Len()
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	removeSorted := func(avail, drop []int) []int {
+		dropSet := make(map[int]struct{}, len(drop))
+		for _, r := range drop {
+			dropSet[r] = struct{}{}
+		}
+		out := avail[:0]
+		for _, r := range avail {
+			if _, gone := dropSet[r]; !gone {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	var clusters []micro.Cluster
+	swaps := 0
+	for len(avail) > 0 {
+		xa := micro.Centroid(p.points, avail)
+		x0 := micro.Farthest(p.points, avail, xa)
+		c, s := referenceGenerateCluster(p, x0, avail)
+		swaps += s
+		avail = removeSorted(avail, c)
+		clusters = append(clusters, micro.Cluster{Rows: c})
+		if len(avail) == 0 {
+			break
+		}
+		x1 := micro.Farthest(p.points, avail, p.points[x0])
+		c, s = referenceGenerateCluster(p, x1, avail)
+		swaps += s
+		avail = removeSorted(avail, c)
+		clusters = append(clusters, micro.Cluster{Rows: c})
+	}
+	return clusters, swaps
+}
+
+// TestKAnonymityFirstPartitionMatchesReference compares the optimized
+// partition against the naive reference over the synthetic generators the
+// benchmarks use, across the (k, t) grid corners.
+func TestKAnonymityFirstPartitionMatchesReference(t *testing.T) {
+	tables := []struct {
+		name string
+		tbl  *dataset.Table
+	}{
+		{"uniform", synth.Uniform(150, 3, 11)},
+		{"census", synth.Census(160, synth.FedTax, 5)},
+		{"patients", synth.PatientDischarge(170, 99)},
+	}
+	for _, tc := range tables {
+		name := tc.name
+		for _, k := range []int{1, 2, 3, 7} {
+			for _, tl := range []float64{0.03, 0.12, 0.3} {
+				tbl := tc.tbl
+				p, err := newProblem(tbl, k, tl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotClusters, gotSwaps := p.kAnonymityFirstPartition()
+				wantClusters, wantSwaps := referenceKAnonymityFirstPartition(p)
+				if gotSwaps != wantSwaps {
+					t.Errorf("%s k=%d t=%v: swaps=%d want %d", name, k, tl, gotSwaps, wantSwaps)
+				}
+				if !reflect.DeepEqual(gotClusters, wantClusters) {
+					t.Fatalf("%s k=%d t=%v: partitions diverge\n got %v\nwant %v",
+						name, k, tl, gotClusters, wantClusters)
+				}
+			}
+		}
+	}
+}
+
+// TestAlgorithm2EndToEndMatchesReference runs the full Algorithm 2 (swap
+// refinement plus finishing merge) and checks the final partition and
+// MaxEMD against a run seeded with the reference partition: the merge loop
+// is deterministic given its input partition, so end-to-end equality
+// follows when the partitions match.
+func TestAlgorithm2EndToEndMatchesReference(t *testing.T) {
+	tbl := synth.Census(200, synth.Fica, 3)
+	for _, k := range []int{2, 5} {
+		for _, tl := range []float64{0.05, 0.2} {
+			res, err := Algorithm2(tbl, k, tl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := newProblem(tbl, k, tl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refPart, _ := referenceKAnonymityFirstPartition(p)
+			refMerged, _ := p.mergeUntilTClose(refPart)
+			if !reflect.DeepEqual(res.Clusters, refMerged) {
+				t.Fatalf("k=%d t=%v: end-to-end partition diverges from reference", k, tl)
+			}
+			if got, want := res.MaxEMD, p.maxEMD(refMerged); got != want {
+				t.Fatalf("k=%d t=%v: MaxEMD %v want %v", k, tl, got, want)
+			}
+		}
+	}
+}

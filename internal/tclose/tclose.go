@@ -18,11 +18,44 @@
 //
 // All three return a Result whose Clusters field partitions the input table;
 // micro.Aggregate turns that partition into the anonymized release.
+//
+// # Performance
+//
+// The algorithms run on incremental data structures rather than the naive
+// formulations of the paper. With n records, m distinct confidential values,
+// d quasi-identifiers and cluster size k:
+//
+//   - Algorithm 1: the partitioner's cost plus O((n/k)² + (n/k)·occ·log m)
+//     for the merge loop, whose per-cluster histograms, EMDs and centroids
+//     are cached and updated in O(1) amortized per merge. MDAV itself is
+//     O(n²d/k) for the distance scans (parallelized across cores for large
+//     remainders) with the per-round centroid maintained incrementally in
+//     O(kd) and the k-nearest selection done by quickselect in O(n + k·log
+//     k) instead of a full sort.
+//   - Algorithm 2: the dominant swap refinement evaluates each candidate
+//     against each distinct occupied confidential bin of the cluster — not
+//     each member — and each evaluation costs O(occΔ·log m) via the exact
+//     integer prefix-sum geometry of package emd (occΔ = occupied bins
+//     between the two swapped bins) instead of the naive O(m) rescan, for
+//     O(n²/k · min(k, m₊)·occΔ·log m) worst case where the naive loop was
+//     O(n³/k · m/n). Candidates whose confidential-bin signature already
+//     failed against the current cluster state are skipped in O(1), which
+//     collapses the tail of the scan for discrete confidential domains.
+//     Candidate ordering is consumed lazily from a binary heap, so clusters
+//     that reach t early avoid the full O(n log n) sort.
+//   - Algorithm 3: O(n²d/k) for the seed scans (same incremental centroid
+//     and parallel scan machinery as MDAV) plus O(n·k) subset bookkeeping;
+//     still no EMD evaluations at all.
+//
+// Every optimized path is pinned to its naive reference implementation by
+// property tests (identical partitions and EMDs); EMD evaluation is exact
+// integer arithmetic, so incremental and batch results are bit-identical.
 package tclose
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/emd"
@@ -64,14 +97,35 @@ var (
 )
 
 // problem bundles the per-run view of the input shared by the algorithms:
-// normalized QI points, one EMD space per confidential attribute, and the
-// validated parameters.
+// normalized QI points (both row-major slices for the public Partitioner
+// interface and a flat stride-indexed matrix for the hot distance scans),
+// one EMD space per confidential attribute, the validated parameters, and
+// reusable scratch state for the partition loops.
 type problem struct {
 	table  *dataset.Table
 	points [][]float64
+	mat    *micro.Matrix
 	spaces []*emd.Space
 	k      int
 	t      float64
+
+	// rowScratch backs micro.FilterRows so the partition loops do not
+	// allocate per removal.
+	rowScratch []bool
+	// sigs holds each record's confidential-bin tuple packed into one
+	// uint64 (mixed radix over the spaces' bin counts); nil when the
+	// product of bin counts overflows, in which case signature-based
+	// deduplication is skipped (a pure optimization, never a semantic
+	// change). Records with equal signatures are interchangeable for every
+	// EMD computation. Precomputed once so the innermost refinement loop
+	// reads a slice instead of re-deriving bins per evaluation.
+	sigs []uint64
+	// rejected memoizes candidate signatures already tried without
+	// improvement against the current cluster state of Algorithm 2's swap
+	// refinement; evaluated deduplicates eviction candidates within one
+	// refinement step.
+	rejected  *sigSet
+	evaluated *sigSet
 }
 
 func newProblem(t *dataset.Table, k int, tLevel float64) (*problem, error) {
@@ -112,13 +166,89 @@ func newProblem(t *dataset.Table, k int, tLevel float64) (*problem, error) {
 		}
 		spaces[i] = s
 	}
-	return &problem{
-		table:  t,
-		points: t.QIMatrix(),
-		spaces: spaces,
-		k:      k,
-		t:      tLevel,
-	}, nil
+	points := t.QIMatrix()
+	p := &problem{
+		table:      t,
+		points:     points,
+		mat:        micro.NewMatrix(points),
+		spaces:     spaces,
+		k:          k,
+		t:          tLevel,
+		rowScratch: make([]bool, t.Len()),
+	}
+	p.initSignatures()
+	return p, nil
+}
+
+// initSignatures packs every record's confidential bin tuple into one
+// uint64 (mixed radix over the spaces' bin counts).
+func (p *problem) initSignatures() {
+	radix := make([]uint64, len(p.spaces))
+	prod := uint64(1)
+	for i := len(p.spaces) - 1; i >= 0; i-- {
+		radix[i] = prod
+		m := uint64(p.spaces[i].Bins())
+		if m != 0 && prod > math.MaxUint64/m {
+			return // overflow: leave sigs nil, dedup disabled
+		}
+		prod *= m
+	}
+	sigs := make([]uint64, p.table.Len())
+	for i, s := range p.spaces {
+		for rec := range sigs {
+			sigs[rec] += uint64(s.Bin(rec)) * radix[i]
+		}
+	}
+	p.sigs = sigs
+	p.rejected = newSigSet(prod)
+	p.evaluated = newSigSet(prod)
+}
+
+// sigSet is a reusable membership set over packed bin signatures: a dense
+// bool slice with a touched list for compact domains (no per-use
+// allocation, O(1) test-and-set, O(touched) reset), a map for huge ones.
+type sigSet struct {
+	dense   []bool
+	touched []uint64
+	sparse  map[uint64]struct{}
+}
+
+// sigDenseCap bounds the dense representation's memory (4 MiB of bools).
+const sigDenseCap = 1 << 22
+
+func newSigSet(domain uint64) *sigSet {
+	if domain > 0 && domain <= sigDenseCap {
+		return &sigSet{dense: make([]bool, domain)}
+	}
+	return &sigSet{sparse: make(map[uint64]struct{})}
+}
+
+// testAndSet reports whether sig was already present, inserting it if not.
+func (s *sigSet) testAndSet(sig uint64) bool {
+	if s.dense != nil {
+		if s.dense[sig] {
+			return true
+		}
+		s.dense[sig] = true
+		s.touched = append(s.touched, sig)
+		return false
+	}
+	if _, ok := s.sparse[sig]; ok {
+		return true
+	}
+	s.sparse[sig] = struct{}{}
+	return false
+}
+
+func (s *sigSet) reset() {
+	if s.dense != nil {
+		for _, sig := range s.touched {
+			s.dense[sig] = false
+		}
+		s.touched = s.touched[:0]
+		return
+	}
+	clear(s.sparse)
 }
 
 // clusterEMD returns the maximum EMD of the record set across all
@@ -187,6 +317,15 @@ func (hs histSet) add(rec int) {
 func (hs histSet) remove(rec int) {
 	for _, h := range hs {
 		h.Remove(rec)
+	}
+}
+
+// swap commits a record swap on every histogram; equivalent to
+// remove(out)+add(in) but keeps per-histogram cached geometry alive when
+// bins coincide.
+func (hs histSet) swap(out, in int) {
+	for _, h := range hs {
+		h.Swap(out, in)
 	}
 }
 
