@@ -1,0 +1,123 @@
+// Command benchgate compares two benchjson evidence files and fails when
+// any cell present in both regressed beyond a noise tolerance. CI runs it
+// over the committed BENCH_<PR>.json trajectory — both files are measured
+// on the same machine when a PR lands, so a generous multiplicative
+// tolerance separates real regressions from scheduler noise without
+// requiring CI hardware to reproduce the timings.
+//
+// Usage:
+//
+//	benchgate -base BENCH_1.json -new BENCH_2.json [-tol 1.3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type cell struct {
+	Algorithm string  `json:"algorithm"`
+	K         int     `json:"k"`
+	T         float64 `json:"t"`
+	N         int     `json:"n"`
+	Seconds   float64 `json:"seconds"`
+}
+
+type report struct {
+	N     int    `json:"n"`
+	Cells []cell `json:"cells"`
+}
+
+type key struct {
+	alg string
+	k   int
+	t   float64
+	n   int
+}
+
+func load(path string) (map[key]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	cells := make(map[key]float64, len(rep.Cells))
+	for _, c := range rep.Cells {
+		n := c.N
+		if n == 0 {
+			n = rep.N // pre--full reports carried the size at report level
+		}
+		cells[key{alg: c.Algorithm, k: c.K, t: c.T, n: n}] = c.Seconds
+	}
+	return cells, nil
+}
+
+func main() {
+	base := flag.String("base", "", "baseline benchjson report")
+	next := flag.String("new", "", "candidate benchjson report")
+	tol := flag.Float64("tol", 1.3, "multiplicative noise tolerance")
+	flag.Parse()
+	if *base == "" || *next == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
+		os.Exit(2)
+	}
+	baseCells, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newCells, err := load(*next)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	keys := make([]key, 0, len(baseCells))
+	for k := range baseCells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.alg != b.alg {
+			return a.alg < b.alg
+		}
+		if a.k != b.k {
+			return a.k < b.k
+		}
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		return a.n < b.n
+	})
+	compared, failed := 0, 0
+	for _, k := range keys {
+		b := baseCells[k]
+		nw, ok := newCells[k]
+		if !ok {
+			continue // cell not measured in the candidate (e.g. new sizes only)
+		}
+		compared++
+		limit := b * *tol
+		verdict := "ok"
+		if nw > limit {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-22s k=%d t=%.2f n=%-6d base=%8.3fs new=%8.3fs (%.2fx) %s\n",
+			k.alg, k.k, k.t, k.n, b, nw, nw/b, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable cells between the two reports")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d cells regressed beyond %.2fx\n", failed, compared, *tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d cells within %.2fx of baseline\n", compared, *tol)
+}

@@ -11,7 +11,8 @@
 //
 //	benchjson                      # n=1500 grid to stdout
 //	benchjson -o BENCH_1.json      # write the evidence file
-//	benchjson -n 23435 -reps 1     # full-size Patient Discharge
+//	benchjson -n 23435 -reps 1     # full-size Patient Discharge only
+//	benchjson -full -o BENCH_2.json  # n=1500 AND full-size cells
 package main
 
 import (
@@ -27,11 +28,14 @@ import (
 	"repro/internal/synth"
 )
 
-// Cell is one measured grid point.
+// Cell is one measured grid point. N is the sample size the cell was
+// measured at (reports written before the -full flag existed omit it; it
+// then defaults to the report-level N).
 type Cell struct {
 	Algorithm string  `json:"algorithm"`
 	K         int     `json:"k"`
 	T         float64 `json:"t"`
+	N         int     `json:"n,omitempty"`
 	NsOp      int64   `json:"ns_op"`
 	Seconds   float64 `json:"seconds"`
 }
@@ -50,6 +54,8 @@ type Report struct {
 
 func main() {
 	n := flag.Int("n", 1500, "Patient Discharge sample size (1500 matches BenchmarkFigure5)")
+	full := flag.Bool("full", false,
+		fmt.Sprintf("additionally measure the full-size n=%d grid", synth.PatientDischargeSize))
 	reps := flag.Int("reps", 3, "runs per cell; the minimum is reported")
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the report (e.g. baseline comparison)")
@@ -58,7 +64,10 @@ func main() {
 		*reps = 1
 	}
 
-	tbl := synth.PatientDischarge(*n, synth.DefaultSeed)
+	sizes := []int{*n}
+	if *full && *n != synth.PatientDischargeSize {
+		sizes = append(sizes, synth.PatientDischargeSize)
+	}
 	algs := []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst}
 	ts := []float64{0.05, 0.13, 0.25} // the BenchmarkFigure5 subsample of the paper's t range
 	rep := Report{
@@ -70,28 +79,32 @@ func main() {
 		GoVersion: runtime.Version(),
 		Note:      *note,
 	}
-	for _, alg := range algs {
-		for _, tl := range ts {
-			best := time.Duration(0)
-			for r := 0; r < *reps; r++ {
-				start := time.Now()
-				if _, err := core.Anonymize(tbl, core.Config{
-					Algorithm: alg, K: 2, T: tl, SkipAssessment: true,
-				}); err != nil {
-					log.Fatalf("%v t=%v: %v", alg, tl, err)
+	for _, size := range sizes {
+		tbl := synth.PatientDischarge(size, synth.DefaultSeed)
+		for _, alg := range algs {
+			for _, tl := range ts {
+				best := time.Duration(0)
+				for r := 0; r < *reps; r++ {
+					start := time.Now()
+					if _, err := core.Anonymize(tbl, core.Config{
+						Algorithm: alg, K: 2, T: tl, SkipAssessment: true,
+					}); err != nil {
+						log.Fatalf("%v n=%d t=%v: %v", alg, size, tl, err)
+					}
+					if d := time.Since(start); best == 0 || d < best {
+						best = d
+					}
 				}
-				if d := time.Since(start); best == 0 || d < best {
-					best = d
-				}
+				rep.Cells = append(rep.Cells, Cell{
+					Algorithm: fmt.Sprintf("%v", alg),
+					K:         2,
+					T:         tl,
+					N:         size,
+					NsOp:      best.Nanoseconds(),
+					Seconds:   best.Seconds(),
+				})
+				fmt.Fprintf(os.Stderr, "%v n=%d t=%.2f: %v\n", alg, size, tl, best.Round(time.Microsecond))
 			}
-			rep.Cells = append(rep.Cells, Cell{
-				Algorithm: fmt.Sprintf("%v", alg),
-				K:         2,
-				T:         tl,
-				NsOp:      best.Nanoseconds(),
-				Seconds:   best.Seconds(),
-			})
-			fmt.Fprintf(os.Stderr, "%v t=%.2f: %v\n", alg, tl, best.Round(time.Microsecond))
 		}
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")

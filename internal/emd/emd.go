@@ -58,7 +58,12 @@ type Space struct {
 	qCounts []int     // raw counts per bin
 	qcPref  []int64   // qcPref[b] = Σ_{j<=b} qCounts[j]
 	sqcPref []int64   // sqcPref[b] = Σ_{j<=b} qcPref[j] (range sums of qcPref)
-	nominal bool      // total-variation (equal ground distance) instead of ordered
+	// halfCross is the first bin b with 2·qcPref[b] > n (m if none): the
+	// sign crossing of the prefix level K=1 at cluster size 2, precomputed
+	// so two-record histograms have a fully closed-form deviation numerator
+	// (TwoRecordAbsDev).
+	halfCross int
+	nominal   bool // total-variation (equal ground distance) instead of ordered
 }
 
 // ErrEmpty is returned when constructing a Space from no records.
@@ -103,6 +108,7 @@ func NewSpace(values []float64) (*Space, error) {
 		s.qcPref[b] = qc
 		s.sqcPref[b] = sqc
 	}
+	s.halfCross = s.levelCross(1, 2)
 	return s, nil
 }
 
@@ -142,6 +148,18 @@ func (s *Space) runAbsSum(p, q int, nK, sz int64) int64 {
 	cross := p + sort.Search(q-p, func(i int) bool {
 		return sz*s.qcPref[p+i] > nK
 	})
+	return s.runAbsSumAt(p, q, nK, sz, cross)
+}
+
+// runAbsSumAt is runAbsSum with the global sign crossing for (nK, sz)
+// already known: cross must be the first bin b with sz·qcPref[b] > nK (m if
+// none), which the caller clamps into the run. O(1).
+func (s *Space) runAbsSumAt(p, q int, nK, sz int64, cross int) int64 {
+	if cross < p {
+		cross = p
+	} else if cross > q {
+		cross = q
+	}
 	var total int64
 	if cross > p {
 		total += nK*int64(cross-p) - sz*(s.sqcAt(cross-1)-s.sqcAt(p-1))
@@ -150,6 +168,15 @@ func (s *Space) runAbsSum(p, q int, nK, sz int64) int64 {
 		total += sz*(s.sqcAt(q-1)-s.sqcAt(cross-1)) - nK*int64(q-cross)
 	}
 	return total
+}
+
+// levelCross returns the global crossing index for prefix level K at cluster
+// size sz: the first bin b with sz·qcPref[b] > n·K, or m when none exists.
+func (s *Space) levelCross(K, sz int64) int {
+	nK := int64(s.n) * K
+	return sort.Search(s.m, func(b int) bool {
+		return sz*s.qcPref[b] > nK
+	})
 }
 
 // Hist is the mutable empirical histogram of a cluster over a Space's bins.
@@ -166,6 +193,16 @@ type Hist struct {
 	// evaluation.
 	absDev   int64
 	absDevOK bool
+	// cross caches, for the cluster size crossSize, the global sign-crossing
+	// bin of every prefix level K ∈ [0, size]: cross[K] is the first bin b
+	// with size·qcPref[b] > n·K. The deviation over a constant-level run is
+	// then a pure O(1) closed form (runAbsSumAt) with no binary search —
+	// the decisive constant for Algorithm 2's swap refinement, which
+	// evaluates millions of same-size swaps against same-size histograms.
+	// Rebuilt only when the size changes, so the O(size·log m) build is
+	// amortized across every query on that size.
+	cross     []int
+	crossSize int
 }
 
 // histOfAddLimit is the cluster size up to which HistOf maintains the
@@ -180,7 +217,7 @@ const occFlatFactor = 4
 
 // NewHist returns an empty cluster histogram over the space.
 func (s *Space) NewHist() *Hist {
-	return &Hist{space: s, counts: make([]int, s.m)}
+	return &Hist{space: s, counts: make([]int, s.m), crossSize: -1}
 }
 
 // HistOf returns the histogram of the given record set.
@@ -293,13 +330,46 @@ func (h *Hist) Merge(other *Hist) {
 // Clone returns an independent copy of the histogram.
 func (h *Hist) Clone() *Hist {
 	return &Hist{
-		space:    h.space,
-		counts:   append([]int(nil), h.counts...),
-		size:     h.size,
-		occ:      append([]int(nil), h.occ...),
-		absDev:   h.absDev,
-		absDevOK: h.absDevOK,
+		space:     h.space,
+		counts:    append([]int(nil), h.counts...),
+		size:      h.size,
+		occ:       append([]int(nil), h.occ...),
+		absDev:    h.absDev,
+		absDevOK:  h.absDevOK,
+		cross:     append([]int(nil), h.cross...),
+		crossSize: h.crossSize,
 	}
+}
+
+// ensureCross (re)builds the per-level crossing cache for the current
+// cluster size. O(size·log m) on a size change, O(1) afterwards.
+func (h *Hist) ensureCross() {
+	if h.crossSize == h.size {
+		return
+	}
+	if cap(h.cross) > h.size {
+		h.cross = h.cross[:h.size+1]
+	} else {
+		h.cross = make([]int, h.size+1)
+	}
+	sz := int64(h.size)
+	for K := 0; K <= h.size; K++ {
+		h.cross[K] = h.space.levelCross(int64(K), sz)
+	}
+	h.crossSize = h.size
+}
+
+// runAbsSumLvl sums the absolute deviation over the run [p, q) at integer
+// prefix level K, using the cached crossing when it is valid for the
+// current size (O(1)) and the binary search otherwise (O(log(q−p))).
+func (h *Hist) runAbsSumLvl(p, q int, K int64) int64 {
+	s := h.space
+	nK := int64(s.n) * K
+	sz := int64(h.size)
+	if h.crossSize == h.size {
+		return s.runAbsSumAt(p, q, nK, sz, h.cross[K])
+	}
+	return s.runAbsSum(p, q, nK, sz)
 }
 
 // EMD returns the Earth Mover's Distance (ordered distance) between the
@@ -350,11 +420,10 @@ func (h *Hist) tvAbsDev() int64 {
 }
 
 // absDevRuns returns Σ_{b∈[0,m−1)} |dev(b)| by decomposing the bin axis into
-// runs of constant cluster prefix count. O(occ·log m).
+// runs of constant cluster prefix count. O(occ·log m), O(occ) when the
+// crossing cache is valid for the current size.
 func (h *Hist) absDevRuns() int64 {
-	s := h.space
-	n64, sz := int64(s.n), int64(h.size)
-	end := s.m - 1
+	end := h.space.m - 1
 	var total int64
 	var K int64
 	p := 0
@@ -362,11 +431,11 @@ func (h *Hist) absDevRuns() int64 {
 		if b >= end {
 			break
 		}
-		total += s.runAbsSum(p, b, n64*K, sz)
+		total += h.runAbsSumLvl(p, b, K)
 		K += int64(h.counts[b])
 		p = b
 	}
-	total += s.runAbsSum(p, end, n64*K, sz)
+	total += h.runAbsSumLvl(p, end, K)
 	return total
 }
 
@@ -449,11 +518,17 @@ func (h *Hist) EMDSwap(out, in int) float64 {
 // tvSwap is the O(1) nominal (total variation) same-size swap query.
 func (h *Hist) tvSwap(ob, ib int) float64 {
 	s := h.space
+	return float64(h.tvSwapNum(ob, ib)) / (2 * float64(s.n) * float64(h.size))
+}
+
+// tvSwapNum is tvSwap's integer deviation numerator.
+func (h *Hist) tvSwapNum(ob, ib int) int64 {
+	s := h.space
 	n64, sz := int64(s.n), int64(h.size)
 	co, ci := int64(h.counts[ob]), int64(h.counts[ib])
 	delta := abs64(n64*(co-1)-sz*int64(s.qCounts[ob])) - abs64(n64*co-sz*int64(s.qCounts[ob])) +
 		abs64(n64*(ci+1)-sz*int64(s.qCounts[ib])) - abs64(n64*ci-sz*int64(s.qCounts[ib]))
-	return float64(h.absDev+delta) / (2 * float64(s.n) * float64(h.size))
+	return h.absDev + delta
 }
 
 // tvVirtualFlat is the O(occ) nominal evaluation with a virtual size change.
@@ -488,10 +563,20 @@ func (h *Hist) tvVirtualFlat(outBin, inBin int, sz int64) float64 {
 
 // orderedSwap evaluates the same-size swap on an ordered space by
 // recomputing only the runs between the two bins: within [lo, hi) the
-// cluster prefix count shifts by ±1 and dev by ±n.
+// cluster prefix count shifts by ±1 and dev by ±n. With the per-size
+// crossing cache warm (the steady state of Algorithm 2's refinement, whose
+// histograms stay at size k) every run is an O(1) closed form, so a swap
+// query costs O(occΔ) with no binary searches at all.
 func (h *Hist) orderedSwap(ob, ib int) float64 {
 	s := h.space
-	n64, sz := int64(s.n), int64(h.size)
+	return float64(h.orderedSwapNum(ob, ib)) /
+		(float64(s.n) * float64(h.size) * float64(s.m-1))
+}
+
+// orderedSwapNum is orderedSwap's integer deviation numerator.
+func (h *Hist) orderedSwapNum(ob, ib int) int64 {
+	s := h.space
+	h.ensureCross()
 	lo, hi := ob, ib
 	var sigma int64 = -1 // removing below adding: prefixes in between lose one
 	if ib < ob {
@@ -512,15 +597,54 @@ func (h *Hist) orderedSwap(ob, ib int) float64 {
 	p := lo
 	for ; i < len(h.occ) && h.occ[i] < end; i++ {
 		b := h.occ[i]
-		base += s.runAbsSum(p, b, n64*K, sz)
-		swapped += s.runAbsSum(p, b, n64*(K+sigma), sz)
+		base += h.runAbsSumLvl(p, b, K)
+		swapped += h.runAbsSumLvl(p, b, K+sigma)
 		K += int64(h.counts[b])
 		p = b
 	}
-	base += s.runAbsSum(p, end, n64*K, sz)
-	swapped += s.runAbsSum(p, end, n64*(K+sigma), sz)
-	return float64(h.absDev-base+swapped) /
-		(float64(s.n) * float64(h.size) * float64(s.m-1))
+	base += h.runAbsSumLvl(p, end, K)
+	swapped += h.runAbsSumLvl(p, end, K+sigma)
+	return h.absDev - base + swapped
+}
+
+// AbsDev returns the integer deviation numerator of the current EMD: the
+// EMD equals AbsDev() divided by a positive constant depending only on the
+// space, its kind, and the histogram size. Two same-size histograms over
+// the same space therefore compare by EMD exactly as they compare by
+// AbsDev — division by the shared constant is monotone, and at the integer
+// magnitudes the package admits (n·s·m < 2⁶³, numerators well under 2⁵³)
+// distinct numerators always round to distinct quotients.
+func (h *Hist) AbsDev() int64 {
+	if h.space.m < 2 || h.size == 0 {
+		return 0
+	}
+	h.ensureAbsDev()
+	return h.absDev
+}
+
+// EMDSwapAbsDev is EMDSwap restricted to true same-size swaps (out and in
+// both records), returning the integer deviation numerator of the post-swap
+// EMD instead of the quotient. It lets a caller that holds a single space
+// run its accept/reject comparisons in pure integer arithmetic — bit-exactly
+// equivalent to comparing the EMDSwap floats (see AbsDev) — skipping one
+// float division per evaluation in Algorithm 2's innermost loop.
+func (h *Hist) EMDSwapAbsDev(out, in int) int64 {
+	s := h.space
+	if s.m < 2 {
+		return 0
+	}
+	ob, ib := s.binOf[out], s.binOf[in]
+	if ob == ib || h.size == 0 {
+		return h.AbsDev()
+	}
+	h.ensureAbsDev()
+	if s.nominal {
+		return h.tvSwapNum(ob, ib)
+	}
+	if len(h.occ)*occFlatFactor >= s.m {
+		return h.absDevFlat(ob, ib, int64(h.size))
+	}
+	return h.orderedSwapNum(ob, ib)
 }
 
 func abs64(v int64) int64 {
@@ -528,6 +652,43 @@ func abs64(v int64) int64 {
 		return -v
 	}
 	return v
+}
+
+// TwoRecordAbsDev returns the integer deviation numerator (see AbsDev) of a
+// two-record cluster occupying bins a and b on an ordered space, in closed
+// form with no loops or searches: the bin axis splits into three runs of
+// constant cluster prefix count C ∈ {0, 1, 2}, whose deviations n·C − 2·QC
+// are sign-definite except the middle run, which crosses at the precomputed
+// half-mass bin. It is the innermost evaluation of Algorithm 2's swap
+// refinement at k = 2, where every candidate swap produces a two-record
+// histogram; the value is identical to HistOf([2 records]).AbsDev().
+func (s *Space) TwoRecordAbsDev(a, b int) int64 {
+	lo, hi := a, b
+	if b < a {
+		lo, hi = b, a
+	}
+	end := s.m - 1
+	if lo > end {
+		lo = end
+	}
+	if hi > end {
+		hi = end
+	}
+	n64 := int64(s.n)
+	// Run [0, lo): C = 0, dev = −2·QC ≤ 0.
+	total := 2 * s.sqcAt(lo-1)
+	// Run [lo, hi): C = 1, dev = n − 2·QC, crossing sign at halfCross.
+	c := s.halfCross
+	if c < lo {
+		c = lo
+	} else if c > hi {
+		c = hi
+	}
+	total += n64*int64(c-lo) - 2*(s.sqcAt(c-1)-s.sqcAt(lo-1))
+	total += 2*(s.sqcAt(hi-1)-s.sqcAt(c-1)) - n64*int64(hi-c)
+	// Run [hi, m−1): C = 2, dev = 2n − 2·QC ≥ 0.
+	total += 2*n64*int64(end-hi) - 2*(s.sqcAt(end-1)-s.sqcAt(hi-1))
+	return total
 }
 
 // EMDOf computes the EMD of an explicit record set against the data set

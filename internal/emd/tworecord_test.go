@@ -1,0 +1,70 @@
+package emd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTwoRecordAbsDevMatchesHist pins the closed-form two-record deviation
+// numerator — the innermost evaluation of Algorithm 2's swap refinement at
+// k=2 — to the general histogram machinery, over random discrete domains
+// including duplicated bins and the extreme bins 0 and m−1.
+func TestTwoRecordAbsDevMatchesHist(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(300)
+		vals := make([]float64, n)
+		spread := 1 + rng.Intn(n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(spread))
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 30; q++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if q == 0 {
+				a, b = 0, n-1 // extreme record pair
+			}
+			want := s.HistOf([]int{a, b}).AbsDev()
+			got := s.TwoRecordAbsDev(s.Bin(a), s.Bin(b))
+			if got != want {
+				t.Fatalf("trial %d: TwoRecordAbsDev(bins %d,%d) = %d, want %d",
+					trial, s.Bin(a), s.Bin(b), got, want)
+			}
+		}
+	}
+}
+
+// TestCrossingCacheMatchesSearch verifies that runAbsSumAt with the cached
+// per-level crossing returns exactly what the binary-searched runAbsSum
+// returns, for every level of random histograms.
+func TestCrossingCacheMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(1 + rng.Intn(n)))
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 1 + rng.Intn(10)
+		for K := int64(0); K <= int64(size); K++ {
+			cross := s.levelCross(K, int64(size))
+			for q := 0; q < 10; q++ {
+				p := rng.Intn(s.m)
+				qq := p + rng.Intn(s.m-p)
+				nK := int64(s.n) * K
+				want := s.runAbsSum(p, qq, nK, int64(size))
+				got := s.runAbsSumAt(p, qq, nK, int64(size), cross)
+				if got != want {
+					t.Fatalf("trial %d K=%d [%d,%d): cached=%d searched=%d", trial, K, p, qq, got, want)
+				}
+			}
+		}
+	}
+}

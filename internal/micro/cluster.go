@@ -11,6 +11,46 @@
 //
 // The package provides the MDAV and V-MDAV partition heuristics (optimal
 // multivariate microaggregation is NP-hard) and the aggregation step.
+//
+// # Performance
+//
+// Both partition heuristics — and, through the shared Searcher/Stream
+// substrate, the t-closeness partitioners of package tclose and the SABRE
+// baseline — run their hot neighbor queries (Farthest, Nearest, KNearest,
+// and the nearest-first candidate stream) against a deletable k-d tree
+// over the normalized quasi-identifier cube instead of an O(remaining)
+// linear scan per query:
+//
+//   - The tree (KDTree) is bucketed (kdLeafSize-record leaves scanned over
+//     a tree-ordered contiguous coordinate copy), built once per partition
+//     run in O(n·log²n) — in parallel under the MaxScanWorkers budget for
+//     large inputs — and supports O(log n) deletion via per-subtree alive
+//     counts, matching the partition loops that retire k records per round.
+//   - Queries prune subtrees with exact branch-and-bound bounds: the
+//     bounding-box distance (exact in floating point by per-dimension term
+//     domination and rounding monotonicity) combined with a
+//     triangle-inequality annulus bound around a per-tree pivot
+//     (conservatively rounded by kdEps), which retains pruning power in
+//     higher dimensions where boxes alone degrade.
+//   - NewSearcher builds the tree only for candidate sets of at least
+//     IndexCrossover rows; below that the linear Matrix scans win and are
+//     used directly. IndexCrossover is a package variable so benchmarks can
+//     tune it and tests can force either path.
+//
+// Determinism contract: every indexed query breaks ties in exact
+// (distance, build rank) order, where build rank is the row's position in
+// the slice the Searcher was built from. Partition loops only ever delete
+// rows, so build-rank order always agrees with the relative order of the
+// caller's shrinking candidate slice, and every query — and therefore every
+// partition — is bit-identical between the indexed and linear paths. The
+// property tests in kdtree_test.go enforce this, including after deletions
+// and on adversarially duplicated point sets.
+//
+// The candidate Stream adds two regime switches on the linear path, both
+// invisible to consumers: a drain that radix-sorts the remainder once a
+// consumer has taken streamDrainAt candidates, and a presort mode that
+// skips the lazy heap outright after presortStreak consecutive drained
+// streams (the steady state of Algorithm 2 at tight t levels).
 package micro
 
 import (
@@ -135,54 +175,6 @@ func CentroidAll(points [][]float64) []float64 {
 		rows[i] = i
 	}
 	return Centroid(points, rows)
-}
-
-// Farthest returns the row among rows whose point is farthest (Euclidean)
-// from p, breaking ties toward the lowest index for determinism.
-func Farthest(points [][]float64, rows []int, p []float64) int {
-	best, bestD := -1, -1.0
-	for _, r := range rows {
-		d := Dist2(points[r], p)
-		if d > bestD {
-			best, bestD = r, d
-		}
-	}
-	return best
-}
-
-// Nearest returns the row among rows whose point is nearest to p, breaking
-// ties toward the lowest index.
-func Nearest(points [][]float64, rows []int, p []float64) int {
-	best := -1
-	bestD := -1.0
-	for _, r := range rows {
-		d := Dist2(points[r], p)
-		if best == -1 || d < bestD {
-			best, bestD = r, d
-		}
-	}
-	return best
-}
-
-// KNearest returns the k rows among rows whose points are nearest to p (p
-// itself may be one of them if its row is in rows), in ascending
-// (distance, row) order. If fewer than k rows are available, all are
-// returned. Selection is partial — O(len(rows) + k·log k) instead of a full
-// sort — but the output order, including ties, matches the sort exactly.
-func KNearest(points [][]float64, rows []int, p []float64, k int) []int {
-	if k > len(rows) {
-		k = len(rows)
-	}
-	ds := make([]distRow, len(rows))
-	for i, r := range rows {
-		ds[i] = distRow{row: r, d: Dist2(points[r], p)}
-	}
-	selectSmallest(ds, k)
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = ds[i].row
-	}
-	return out
 }
 
 // Aggregate performs the aggregation step: it returns a copy of t in which

@@ -92,25 +92,25 @@ func TestCentroidAll(t *testing.T) {
 }
 
 func TestFarthestNearest(t *testing.T) {
-	pts := [][]float64{{0}, {5}, {2}, {9}}
+	m := NewMatrix([][]float64{{0}, {5}, {2}, {9}})
 	rows := []int{0, 1, 2, 3}
-	if got := Farthest(pts, rows, []float64{0}); got != 3 {
+	if got := m.Farthest(rows, []float64{0}); got != 3 {
 		t.Errorf("Farthest = %d, want 3", got)
 	}
-	if got := Nearest(pts, rows, []float64{4.9}); got != 1 {
+	if got := m.Nearest(rows, []float64{4.9}); got != 1 {
 		t.Errorf("Nearest = %d, want 1", got)
 	}
 	// Ties break to the lowest index.
-	tie := [][]float64{{1}, {1}}
-	if got := Nearest(tie, []int{0, 1}, []float64{1}); got != 0 {
+	tie := NewMatrix([][]float64{{1}, {1}})
+	if got := tie.Nearest([]int{0, 1}, []float64{1}); got != 0 {
 		t.Errorf("tie Nearest = %d, want 0", got)
 	}
 }
 
 func TestKNearest(t *testing.T) {
-	pts := [][]float64{{0}, {10}, {1}, {5}, {2}}
+	m := NewMatrix([][]float64{{0}, {10}, {1}, {5}, {2}})
 	rows := []int{0, 1, 2, 3, 4}
-	got := KNearest(pts, rows, []float64{0}, 3)
+	got := m.KNearest(rows, []float64{0}, 3)
 	want := []int{0, 2, 4}
 	if len(got) != 3 {
 		t.Fatalf("KNearest = %v", got)
@@ -121,7 +121,7 @@ func TestKNearest(t *testing.T) {
 		}
 	}
 	// k larger than available returns everything.
-	if got := KNearest(pts, rows[:2], []float64{0}, 5); len(got) != 2 {
+	if got := m.KNearest(rows[:2], []float64{0}, 5); len(got) != 2 {
 		t.Errorf("oversized k: %v", got)
 	}
 }

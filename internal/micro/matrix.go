@@ -59,12 +59,24 @@ func (m *Matrix) RowDist2(i int, p []float64) float64 {
 // of every partition run.
 const parallelScanMin = 8192
 
+// MaxScanWorkers caps the goroutine fan-out of the parallel distance scans
+// and of the k-d tree build. It defaults to runtime.GOMAXPROCS(0) — the old
+// hardcoded cap of 8 silently throttled benchmark machines with more cores.
+// Results are bit-identical for any value (each worker owns a disjoint,
+// deterministic chunk); set it to 1 to force serial execution.
+var MaxScanWorkers = runtime.GOMAXPROCS(0)
+
+// scanWorkerBudget returns the sanitized MaxScanWorkers value.
+func scanWorkerBudget() int {
+	if MaxScanWorkers < 1 {
+		return 1
+	}
+	return MaxScanWorkers
+}
+
 // scanWorkers returns the fan-out for a parallel scan over nRows.
 func scanWorkers(nRows int) int {
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
+	w := scanWorkerBudget()
 	if nRows < parallelScanMin || w < 2 {
 		return 1
 	}
@@ -346,6 +358,29 @@ func (rc *RunningCentroid) CentroidOf(rows []int) []float64 {
 		rc.buf[j] = v * inv
 	}
 	return rc.buf
+}
+
+// CentroidRows returns the mean point of the given rows in dst (allocated
+// when nil), summing rows in slice order and dimensions in ascending order —
+// the same float64 operation order as Centroid on a [][]float64.
+func (m *Matrix) CentroidRows(rows []int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.dim)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for _, r := range rows {
+		row := m.Row(r)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+	inv := 1.0 / float64(len(rows))
+	for j := range dst {
+		dst[j] *= inv
+	}
+	return dst
 }
 
 // FilterRows returns remaining minus the rows in drop, preserving order. It

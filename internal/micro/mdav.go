@@ -18,8 +18,9 @@ package micro
 // The implementation keeps the remaining-set centroid as a running sum
 // (O(k·dim) to update per extracted cluster instead of an O(n·dim) rescan),
 // selects the k nearest records by partial selection instead of a full
-// sort, and scans distances over a flat stride-indexed copy of the points,
-// in parallel for large remainders.
+// sort, and routes the Farthest/KNearest queries through a Searcher: a
+// deletable k-d tree over the normalized QI cube for large inputs
+// (subquadratic rounds), the flat linear scan below IndexCrossover.
 func MDAV(points [][]float64, k int) ([]Cluster, error) {
 	return MDAVMatrix(NewMatrix(points), k)
 }
@@ -38,23 +39,26 @@ func MDAVMatrix(m *Matrix, k int) ([]Cluster, error) {
 		remaining[i] = i
 	}
 	rc := NewRunningCentroid(m)
+	search := m.NewSearcher(remaining)
 	scratch := make([]bool, n)
+	extract := func(seed []float64) []int {
+		xr := search.Farthest(remaining, seed)
+		cluster := search.KNearest(remaining, m.Row(xr), k)
+		remaining = FilterRows(remaining, cluster, scratch)
+		rc.RemoveRows(cluster)
+		search.Remove(cluster)
+		return cluster
+	}
 	var clusters []Cluster
 	for len(remaining) >= 3*k {
-		xr := m.Farthest(remaining, rc.CentroidOf(remaining))
-		cluster1 := m.KNearest(remaining, m.Row(xr), k)
-		remaining = FilterRows(remaining, cluster1, scratch)
-		rc.RemoveRows(cluster1)
-		xs := m.Farthest(remaining, m.Row(xr))
-		cluster2 := m.KNearest(remaining, m.Row(xs), k)
-		remaining = FilterRows(remaining, cluster2, scratch)
-		rc.RemoveRows(cluster2)
+		cluster1 := extract(rc.CentroidOf(remaining))
+		// The paper seeds the second cluster at the record farthest from the
+		// first seed, which is cluster1[0] (distance 0 to itself).
+		cluster2 := extract(m.Row(cluster1[0]))
 		clusters = append(clusters, Cluster{Rows: cluster1}, Cluster{Rows: cluster2})
 	}
 	if len(remaining) >= 2*k {
-		xr := m.Farthest(remaining, rc.CentroidOf(remaining))
-		cluster1 := m.KNearest(remaining, m.Row(xr), k)
-		remaining = FilterRows(remaining, cluster1, scratch)
+		cluster1 := extract(rc.CentroidOf(remaining))
 		clusters = append(clusters, Cluster{Rows: cluster1}, Cluster{Rows: remaining})
 	} else if len(remaining) > 0 {
 		clusters = append(clusters, Cluster{Rows: remaining})

@@ -1,0 +1,39 @@
+package micro
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRadixDrainIsolated pins the stable LSD radix sort of drained stream
+// remainders to a comparison sort, on heavy-tie keys, across both the
+// 11-bit (small array) and 16-bit (large array) digit widths.
+func TestRadixDrainIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		if trial == 0 {
+			n = 1<<14 + 137 // force the 16-bit digit path
+		}
+		a := make([]drainEntry, n)
+		for i := range a {
+			a[i] = drainEntry{d: float64(rng.Intn(50)) * 0.25, tie: int32(rng.Intn(3000)), row: int32(i)}
+		}
+		want := append([]drainEntry(nil), a...)
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].d != want[j].d {
+				return want[i].d < want[j].d
+			}
+			return want[i].tie < want[j].tie
+		})
+		var tmp []drainEntry
+		counts := make([]int32, 1<<16)
+		got := radixSortDrain(a, &tmp, counts, true)
+		for i := range got {
+			if got[i].d != want[i].d || got[i].tie != want[i].tie {
+				t.Fatalf("trial %d n=%d: mismatch at %d", trial, n, i)
+			}
+		}
+	}
+}

@@ -16,7 +16,15 @@ const VMDAVGammaDefault = 0.2
 // du < gamma * din, where din is the squared distance from u to its nearest
 // unassigned neighbor. gamma <= 0 selects VMDAVGammaDefault.
 func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
-	n := len(points)
+	return VMDAVMatrix(NewMatrix(points), k, gamma)
+}
+
+// VMDAVMatrix is VMDAV over an already-flattened point matrix. Like
+// MDAVMatrix it runs on the shared partition substrate: running centroid of
+// the unassigned records, and Farthest/KNearest/Nearest routed through a
+// Searcher (k-d tree above IndexCrossover, linear scans below).
+func VMDAVMatrix(m *Matrix, k int, gamma float64) ([]Cluster, error) {
+	n := m.N()
 	if n == 0 {
 		return nil, ErrEmpty
 	}
@@ -30,25 +38,31 @@ func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
 	for i := range remaining {
 		remaining[i] = i
 	}
+	rc := NewRunningCentroid(m)
+	search := m.NewSearcher(remaining)
 	scratch := make([]bool, n)
 	one := make([]int, 1)
+	cbuf := make([]float64, m.Dim())
 	var clusters []Cluster
 	for len(remaining) >= 2*k {
-		c := Centroid(points, remaining)
-		xr := Farthest(points, remaining, c)
-		rows := KNearest(points, remaining, points[xr], k)
+		xr := search.Farthest(remaining, rc.CentroidOf(remaining))
+		rows := search.KNearest(remaining, m.Row(xr), k)
 		remaining = FilterRows(remaining, rows, scratch)
+		rc.RemoveRows(rows)
+		search.Remove(rows)
 		// Extension: absorb up to k-1 more records that are locally closer
 		// to this cluster than to the rest of the unassigned points.
 		for len(rows) < 2*k-1 && len(remaining) > k {
-			cen := Centroid(points, rows)
-			u := Nearest(points, remaining, cen)
-			du := Dist2(points[u], cen)
-			din := nearestNeighborDist2(points, remaining, u)
+			cen := m.CentroidRows(rows, cbuf)
+			u := search.Nearest(remaining, cen)
+			du := m.RowDist2(u, cen)
+			din := nearestNeighborDist2(m, search, remaining, u)
 			if du < gamma*din {
 				rows = append(rows, u)
 				one[0] = u
 				remaining = FilterRows(remaining, one, scratch)
+				rc.RemoveRows(one)
+				search.Remove(one)
 			} else {
 				break
 			}
@@ -64,12 +78,12 @@ func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
 	} else {
 		centroids := make([][]float64, len(clusters))
 		for i, cl := range clusters {
-			centroids[i] = Centroid(points, cl.Rows)
+			centroids[i] = m.CentroidRows(cl.Rows, nil)
 		}
 		for _, r := range remaining {
-			best, bestD := 0, Dist2(points[r], centroids[0])
+			best, bestD := 0, m.RowDist2(r, centroids[0])
 			for i := 1; i < len(centroids); i++ {
-				if d := Dist2(points[r], centroids[i]); d < bestD {
+				if d := m.RowDist2(r, centroids[i]); d < bestD {
 					best, bestD = i, d
 				}
 			}
@@ -80,20 +94,14 @@ func VMDAV(points [][]float64, k int, gamma float64) ([]Cluster, error) {
 }
 
 // nearestNeighborDist2 returns the squared distance from record u to its
-// nearest other record among rows.
-func nearestNeighborDist2(points [][]float64, rows []int, u int) float64 {
-	best := -1.0
-	for _, r := range rows {
-		if r == u {
-			continue
-		}
-		d := Dist2(points[r], points[u])
-		if best < 0 || d < best {
-			best = d
+// nearest other record among the remaining rows (u itself is one of them):
+// the two nearest rows to u's point include u at distance zero, so the
+// first of them that is not u realizes the minimum over the others.
+func nearestNeighborDist2(m *Matrix, search *Searcher, remaining []int, u int) float64 {
+	for _, r := range search.KNearest(remaining, m.Row(u), 2) {
+		if r != u {
+			return m.RowDist2(r, m.Row(u))
 		}
 	}
-	if best < 0 {
-		return 0
-	}
-	return best
+	return 0
 }

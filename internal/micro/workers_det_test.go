@@ -1,0 +1,31 @@
+package micro
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Determinism across MaxScanWorkers values, including the parallel kd build.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 9000
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	defer func(w int) { MaxScanWorkers = w }(MaxScanWorkers)
+	var ref []Cluster
+	for _, w := range []int{1, 2, 8} {
+		MaxScanWorkers = w
+		got, err := MDAV(pts, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+		} else if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: partition differs", w)
+		}
+	}
+}

@@ -238,23 +238,34 @@ func worstECBound(n, m int, buckets []bucket) float64 {
 
 // redistribute forms the equivalence classes: MDAV-style seeds (the record
 // farthest from the centroid of the remaining records), each class drawing
-// its proportional share of QI-nearest records from every bucket.
+// its proportional share of QI-nearest records from every bucket. The
+// neighbor queries run on micro.Searchers — one over the whole record set
+// (in confidential-ranking order, the concatenation of the bucket pools)
+// for the seeds, one per bucket pool for the draws — which route through a
+// k-d tree over the QI cube above the crossover and fall back to the linear
+// scans below it. The centroid of the remaining records is maintained as a
+// running sum instead of a per-class rescan.
 func redistribute(t *dataset.Table, order []int, buckets []bucket, k int) []micro.Cluster {
 	n := t.Len()
-	points := t.QIMatrix()
+	mat := micro.NewMatrix(t.QIMatrix())
 	m := ecSize(n, k, buckets)
-	// Per-bucket record pools in confidential order.
+	// Per-bucket record pools in confidential order; their concatenation in
+	// bucket order is exactly `order`, the tie-break order of every seed
+	// query.
 	pools := make([][]int, len(buckets))
+	poolSearch := make([]*micro.Searcher, len(buckets))
 	for i, b := range buckets {
 		pools[i] = append([]int(nil), order[b.lo:b.hi]...)
+		poolSearch[i] = mat.NewSparseSearcher(pools[i])
 	}
+	alive := append([]int(nil), order...)
+	global := mat.NewSearcher(alive)
+	rc := micro.NewRunningCentroid(mat)
+	scratch := make([]bool, n)
 	counts := drawCounts(n, m, buckets)
 	var clusters []micro.Cluster
 	for {
-		left := 0
-		for _, p := range pools {
-			left += len(p)
-		}
+		left := len(alive)
 		if left == 0 {
 			break
 		}
@@ -273,11 +284,7 @@ func redistribute(t *dataset.Table, order []int, buckets []bucket, k int) []micr
 			break
 		}
 		// Seed: record farthest from the centroid of all remaining records.
-		alive := make([]int, 0, left)
-		for _, p := range pools {
-			alive = append(alive, p...)
-		}
-		seed := micro.Farthest(points, alive, micro.Centroid(points, alive))
+		seed := global.Farthest(alive, rc.CentroidOf(alive))
 		rows := make([]int, 0, m)
 		for i := range pools {
 			take := counts[i]
@@ -285,11 +292,15 @@ func redistribute(t *dataset.Table, order []int, buckets []bucket, k int) []micr
 				take = len(pools[i])
 			}
 			for j := 0; j < take; j++ {
-				x := micro.Nearest(points, pools[i], points[seed])
+				x := poolSearch[i].Nearest(pools[i], mat.Row(seed))
 				pools[i] = removeOne(pools[i], x)
+				poolSearch[i].RemoveOne(x)
 				rows = append(rows, x)
 			}
 		}
+		alive = micro.FilterRows(alive, rows, scratch)
+		rc.RemoveRows(rows)
+		global.Remove(rows)
 		clusters = append(clusters, micro.Cluster{Rows: rows})
 	}
 	return clusters

@@ -61,7 +61,11 @@ func Algorithm1Policy(t *dataset.Table, k int, tLevel float64, part Partitioner,
 
 // mergeState caches, for each live cluster, its histogram set, EMD, and QI
 // centroid, so that each merge step costs O(#clusters + bins) instead of
-// recomputing everything.
+// recomputing everything. The worst-cluster search runs on a lazily
+// invalidated max-heap keyed by cached EMD: a merge pushes one fresh entry
+// for the merged cluster, and stale entries (dead partner, outdated EMD)
+// are discarded as they surface, cutting the selection to O(log #clusters)
+// amortized per merge where the previous linear scan paid O(#clusters).
 type mergeState struct {
 	rows     [][]int
 	hists    []histSet
@@ -69,6 +73,77 @@ type mergeState struct {
 	centroid [][]float64
 	alive    []bool
 	nAlive   int
+	worst    worstHeap
+}
+
+// worstEntry snapshots a cluster's EMD at push time; it is stale (and
+// skipped) if the cluster has since died or changed EMD.
+type worstEntry struct {
+	emd float64
+	idx int
+}
+
+// worstHeap is a binary max-heap in (emd desc, idx asc) order — the exact
+// selection order of the linear scan it replaces, which took the first
+// strict improvement and therefore the lowest index among equal EMDs.
+type worstHeap []worstEntry
+
+func (h worstHeap) before(i, j int) bool {
+	if h[i].emd != h[j].emd {
+		return h[i].emd > h[j].emd
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h *worstHeap) push(e worstEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		par := (i - 1) / 2
+		if !(*h).before(i, par) {
+			return
+		}
+		(*h)[i], (*h)[par] = (*h)[par], (*h)[i]
+		i = par
+	}
+}
+
+func (h *worstHeap) pop() worstEntry {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i, n := 0, len(*h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		next := l
+		if r := l + 1; r < n && (*h).before(r, l) {
+			next = r
+		}
+		if !(*h).before(next, i) {
+			break
+		}
+		(*h)[i], (*h)[next] = (*h)[next], (*h)[i]
+		i = next
+	}
+	return top
+}
+
+// popWorst returns the live cluster with the greatest EMD (ties toward the
+// lowest index), or -1 when every remaining EMD is zero or no cluster
+// remains. Zero-EMD clusters are never pushed, mirroring the scan's
+// strict `> 0` start.
+func (st *mergeState) popWorst() (int, float64) {
+	for len(st.worst) > 0 {
+		e := st.worst.pop()
+		if st.alive[e.idx] && st.emds[e.idx] == e.emd {
+			return e.idx, e.emd
+		}
+	}
+	return -1, 0
 }
 
 // mergeUntilTClose runs Algorithm 1's merging loop on an initial partition
@@ -92,16 +167,14 @@ func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergeP
 		st.emds[i] = st.hists[i].emd()
 		st.centroid[i] = micro.Centroid(p.points, c.Rows)
 		st.alive[i] = true
+		if st.emds[i] > 0 {
+			st.worst.push(worstEntry{emd: st.emds[i], idx: i})
+		}
 	}
 	merges := 0
 	for st.nAlive > 1 {
 		// Cluster farthest from the data set distribution.
-		worst, worstEMD := -1, 0.0
-		for i := range st.rows {
-			if st.alive[i] && st.emds[i] > worstEMD {
-				worst, worstEMD = i, st.emds[i]
-			}
-		}
+		worst, worstEMD := st.popWorst()
 		if worst < 0 || worstEMD <= p.t {
 			break
 		}
@@ -128,6 +201,9 @@ func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergeP
 			break
 		}
 		st.merge(p, worst, closest)
+		if st.emds[worst] > 0 {
+			st.worst.push(worstEntry{emd: st.emds[worst], idx: worst})
+		}
 		merges++
 	}
 	out := make([]micro.Cluster, 0, st.nAlive)

@@ -58,7 +58,10 @@ func Algorithm2Standalone(t *dataset.Table, k int, tLevel float64) (*Result, err
 // farthest from the centroid of the unclustered records, then around the
 // record farthest from that one), refining each cluster with generateCluster
 // before moving on. The centroid of the unclustered records is maintained
-// incrementally (O(kd) per extracted cluster instead of an O(nd) rescan).
+// incrementally (O(kd) per extracted cluster instead of an O(nd) rescan),
+// and both the farthest-seed queries and the candidate ordering run on a
+// micro.Searcher — a deletable k-d tree over the normalized QI cube for
+// large inputs, the linear scans below the crossover.
 func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
 	n := p.table.Len()
 	avail := make([]int, n)
@@ -66,81 +69,29 @@ func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
 		avail[i] = i
 	}
 	rc := micro.NewRunningCentroid(p.mat)
+	search := p.mat.NewSearcher(avail)
 	var clusters []micro.Cluster
 	swaps := 0
 	for len(avail) > 0 {
-		x0 := p.mat.Farthest(avail, rc.CentroidOf(avail))
-		c, s := p.generateCluster(x0, avail)
+		x0 := search.Farthest(avail, rc.CentroidOf(avail))
+		c, s := p.generateCluster(x0, avail, search)
 		swaps += s
 		avail = micro.FilterRows(avail, c, p.rowScratch)
 		rc.RemoveRows(c)
+		search.Remove(c)
 		clusters = append(clusters, micro.Cluster{Rows: c})
 		if len(avail) == 0 {
 			break
 		}
-		x1 := p.mat.Farthest(avail, p.mat.Row(x0))
-		c, s = p.generateCluster(x1, avail)
+		x1 := search.Farthest(avail, p.mat.Row(x0))
+		c, s = p.generateCluster(x1, avail, search)
 		swaps += s
 		avail = micro.FilterRows(avail, c, p.rowScratch)
 		rc.RemoveRows(c)
+		search.Remove(c)
 		clusters = append(clusters, micro.Cluster{Rows: c})
 	}
 	return clusters, swaps
-}
-
-// candHeap is a binary min-heap of swap candidates in ascending (QI
-// distance, row) order — the exact order the naive implementation obtained
-// by fully sorting all candidates up front. Lazy consumption means a
-// cluster that reaches t after few candidates pays O(n + taken·log n)
-// instead of the unconditional O(n log n) sort.
-type candHeap struct {
-	d   []float64
-	row []int
-}
-
-func (h *candHeap) len() int { return len(h.row) }
-
-func (h *candHeap) less(i, j int) bool {
-	if h.d[i] != h.d[j] {
-		return h.d[i] < h.d[j]
-	}
-	return h.row[i] < h.row[j]
-}
-
-func (h *candHeap) init() {
-	for i := len(h.row)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}
-
-func (h *candHeap) siftDown(i int) {
-	n := len(h.row)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		next := l
-		if r := l + 1; r < n && h.less(r, l) {
-			next = r
-		}
-		if !h.less(next, i) {
-			return
-		}
-		h.d[i], h.d[next] = h.d[next], h.d[i]
-		h.row[i], h.row[next] = h.row[next], h.row[i]
-		i = next
-	}
-}
-
-// pop removes and returns the nearest remaining candidate row.
-func (h *candHeap) pop() int {
-	top := h.row[0]
-	last := len(h.row) - 1
-	h.d[0], h.row[0] = h.d[last], h.row[last]
-	h.d, h.row = h.d[:last], h.row[:last]
-	h.siftDown(0)
-	return top
 }
 
 // generateCluster implements the paper's GenerateCluster: starting from the
@@ -164,20 +115,22 @@ func (h *candHeap) pop() int {
 //     the memo is cleared whenever a swap changes the cluster.
 //
 // If fewer than 2k records remain, they all form the final cluster.
-func (p *problem) generateCluster(x int, avail []int) (cluster []int, swaps int) {
+//
+// Candidates come off the Searcher's nearest-first stream in exact
+// (distance, row) order: lazily from the k-d tree (or the linear heap) while
+// consumption is light, switching to one radix-sorted remainder array when a
+// cluster turns out to consume most of the candidate set — the regime of
+// tight t levels, where nearly every cluster exhausts all candidates without
+// reaching t and the finishing merge step does the rest.
+func (p *problem) generateCluster(x int, avail []int, search *micro.Searcher) (cluster []int, swaps int) {
 	if len(avail) < 2*p.k {
 		return append([]int(nil), avail...), 0
 	}
-	heap := &candHeap{d: make([]float64, len(avail)), row: make([]int, len(avail))}
-	px := p.mat.Row(x)
-	for i, r := range avail {
-		heap.d[i] = p.mat.RowDist2(r, px)
-		heap.row[i] = r
-	}
-	heap.init()
+	stream := search.Stream(avail, p.mat.Row(x))
 	cluster = make([]int, 0, p.k)
 	for len(cluster) < p.k {
-		cluster = append(cluster, heap.pop())
+		y, _ := stream.Next()
+		cluster = append(cluster, y)
 	}
 	hs := p.newHistSet(cluster)
 	cur := hs.emd()
@@ -185,8 +138,97 @@ func (p *problem) generateCluster(x int, avail []int) (cluster []int, swaps int)
 	if sigOK {
 		p.rejected.reset()
 	}
-	for cur > p.t && heap.len() > 0 {
-		y := heap.pop()
+	if p.k == 2 && len(hs) == 1 && !p.spaces[0].Nominal() {
+		// k = 2 over a single ordered confidential attribute — the paper's
+		// headline configuration. Every candidate swap leaves a two-record
+		// histogram whose deviation numerator has a closed form
+		// (emd.Space.TwoRecordAbsDev), so each evaluation is a handful of
+		// integer operations with no pointer chasing. The signature memos
+		// are dropped here: they only ever skip evaluations whose outcome
+		// is forced (same bin, same cluster state, same non-improvement),
+		// and with O(1) evaluations the bookkeeping costs more than the
+		// evaluations it saves. Decisions are bit-identical to the general
+		// path (integer comparisons, see emd.Hist.AbsDev).
+		h := hs[0]
+		sp := p.spaces[0]
+		u0, u1 := sp.Bin(cluster[0]), sp.Bin(cluster[1])
+		curNum := h.AbsDev()
+		for cur > p.t {
+			y, ok := stream.Next()
+			if !ok {
+				break
+			}
+			yb := sp.Bin(y)
+			bestIdx, bestNum := -1, curNum
+			if yb != u0 {
+				if d := sp.TwoRecordAbsDev(u1, yb); d < bestNum {
+					bestIdx, bestNum = 0, d
+				}
+			}
+			if u1 != u0 && yb != u1 {
+				if d := sp.TwoRecordAbsDev(u0, yb); d < bestNum {
+					bestIdx, bestNum = 1, d
+				}
+			}
+			if bestIdx >= 0 {
+				h.Swap(cluster[bestIdx], y)
+				cluster[bestIdx] = y
+				if bestIdx == 0 {
+					u0 = yb
+				} else {
+					u1 = yb
+				}
+				curNum = bestNum
+				cur = h.EMD()
+				swaps++
+			}
+		}
+		return cluster, swaps
+	}
+	if len(hs) == 1 {
+		// Single confidential attribute (the common case): every EMD in
+		// the refinement shares one denominator, so the accept/reject
+		// comparisons run on the exact integer deviation numerators —
+		// bit-identical decisions (emd.Hist.AbsDev) without a float
+		// division per evaluation.
+		h := hs[0]
+		for cur > p.t {
+			y, ok := stream.Next()
+			if !ok {
+				break
+			}
+			if sigOK && p.rejected.testAndSet(p.sigs[y]) {
+				continue
+			}
+			bestIdx, bestNum := -1, h.AbsDev()
+			if sigOK {
+				p.evaluated.reset()
+			}
+			for i, out := range cluster {
+				if sigOK && p.evaluated.testAndSet(p.sigs[out]) {
+					continue
+				}
+				if d := h.EMDSwapAbsDev(out, y); d < bestNum {
+					bestIdx, bestNum = i, d
+				}
+			}
+			if bestIdx >= 0 {
+				h.Swap(cluster[bestIdx], y)
+				cluster[bestIdx] = y
+				cur = h.EMD()
+				swaps++
+				if sigOK {
+					p.rejected.reset()
+				}
+			}
+		}
+		return cluster, swaps
+	}
+	for cur > p.t {
+		y, ok := stream.Next()
+		if !ok {
+			break
+		}
 		if sigOK && p.rejected.testAndSet(p.sigs[y]) {
 			continue
 		}

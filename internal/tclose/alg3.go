@@ -113,8 +113,14 @@ func (p *problem) rankSubsets(k int) [][]int {
 // tClosenessFirstPartition forms floor(n/k) clusters, each with exactly one
 // QI-nearest record per rank subset plus at most one extra record from a
 // central subset while extras remain. The centroid of the remaining records
-// is maintained incrementally and the distance scans run over the flat
-// point matrix (parallelized for large remainders).
+// is maintained incrementally, the farthest-seed queries run on a Searcher
+// over the whole record set, and each rank subset carries its own Searcher
+// for the per-cluster nearest-record draws — k-d-tree-backed above the
+// crossover (subsets only in low dimensions, where pruning over a sparse
+// QI-scattered set still wins; see micro.NewSparseSearcher), linear
+// otherwise, with identical results either way. Subset Searchers tie-break
+// by position in the confidential ranking, exactly as the linear scan over
+// the subset slice does.
 func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 	n := p.table.Len()
 	subsets := p.rankSubsets(k)
@@ -127,15 +133,24 @@ func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 		remaining[i] = i
 	}
 	rc := micro.NewRunningCentroid(p.mat)
+	global := p.mat.NewSearcher(remaining)
+	subSearch := make([]*micro.Searcher, k)
+	for i := range subsets {
+		subSearch[i] = p.mat.NewSparseSearcher(subsets[i])
+	}
+	take := func(i int, seed []float64) int {
+		x := subSearch[i].Nearest(subsets[i], seed)
+		subsets[i] = removeOne(subsets[i], x)
+		subSearch[i].RemoveOne(x)
+		return x
+	}
 	build := func(seed []float64) micro.Cluster {
 		rows := make([]int, 0, k+1)
 		for i := 0; i < k; i++ {
 			if len(subsets[i]) == 0 {
 				continue
 			}
-			x := p.mat.Nearest(subsets[i], seed)
-			subsets[i] = removeOne(subsets[i], x)
-			rows = append(rows, x)
+			rows = append(rows, take(i, seed))
 		}
 		// Extra record: while some subset still holds more records than the
 		// clusters left to build, it must shed one extra now. Take it from
@@ -148,22 +163,21 @@ func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 			}
 		}
 		if at >= 0 && surplus > 0 {
-			x := p.mat.Nearest(subsets[at], seed)
-			subsets[at] = removeOne(subsets[at], x)
-			rows = append(rows, x)
+			rows = append(rows, take(at, seed))
 		}
 		remaining = micro.FilterRows(remaining, rows, p.rowScratch)
 		rc.RemoveRows(rows)
+		global.Remove(rows)
 		return micro.Cluster{Rows: rows}
 	}
 	for len(remaining) > 0 {
-		x0 := p.mat.Farthest(remaining, rc.CentroidOf(remaining))
+		x0 := global.Farthest(remaining, rc.CentroidOf(remaining))
 		c := build(p.mat.Row(x0))
 		clusters = append(clusters, c)
 		if len(remaining) == 0 {
 			break
 		}
-		x1 := p.mat.Farthest(remaining, p.mat.Row(x0))
+		x1 := global.Farthest(remaining, p.mat.Row(x0))
 		clusters = append(clusters, build(p.mat.Row(x1)))
 	}
 	return clusters

@@ -1,0 +1,165 @@
+package tclose
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/micro"
+	"repro/internal/synth"
+)
+
+// This file pins the spatial-index paths of the t-closeness algorithms to
+// their linear-scan counterparts: with micro.IndexCrossover forced low,
+// every Farthest/Nearest/candidate-stream query runs on the k-d tree, and
+// the partitions must be identical — not merely close — to the ones the
+// linear scans produce (which TestKAnonymityFirstPartitionMatchesReference
+// in turn pins to the naive reference implementation).
+
+func withCrossover(t *testing.T, c int, f func()) {
+	t.Helper()
+	old := micro.IndexCrossover
+	micro.IndexCrossover = c
+	defer func() { micro.IndexCrossover = old }()
+	f()
+}
+
+func TestAlgorithm2IndexMatchesScan(t *testing.T) {
+	tbl := synth.PatientDischarge(700, 5)
+	for _, k := range []int{1, 2, 4} {
+		for _, tl := range []float64{0.04, 0.15, 0.3} {
+			var scan, indexed *Result
+			var err error
+			withCrossover(t, 1<<30, func() {
+				scan, err = Algorithm2(tbl, k, tl)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			withCrossover(t, 1, func() {
+				indexed, err = Algorithm2(tbl, k, tl)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scan, indexed) {
+				t.Fatalf("k=%d t=%v: Algorithm2 index vs scan results diverge", k, tl)
+			}
+		}
+	}
+}
+
+func TestAlgorithm3IndexMatchesScan(t *testing.T) {
+	tbl := synth.PatientDischarge(600, 9)
+	for _, k := range []int{2, 5} {
+		for _, tl := range []float64{0.03, 0.1, 0.3} {
+			var scan, indexed *Result
+			var err error
+			withCrossover(t, 1<<30, func() {
+				scan, err = Algorithm3(tbl, k, tl)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			withCrossover(t, 1, func() {
+				indexed, err = Algorithm3(tbl, k, tl)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scan, indexed) {
+				t.Fatalf("k=%d t=%v: Algorithm3 index vs scan results diverge", k, tl)
+			}
+		}
+	}
+}
+
+// referenceMergeUntilTClose is the pre-heap merge loop: a linear scan for
+// the worst cluster per merge. The heap-based loop must merge the same
+// clusters in the same order.
+func referenceMergeUntilTClose(p *problem, clusters []micro.Cluster) ([]micro.Cluster, int) {
+	st := &mergeState{
+		rows:     make([][]int, len(clusters)),
+		hists:    make([]histSet, len(clusters)),
+		emds:     make([]float64, len(clusters)),
+		centroid: make([][]float64, len(clusters)),
+		alive:    make([]bool, len(clusters)),
+		nAlive:   len(clusters),
+	}
+	for i, c := range clusters {
+		st.rows[i] = append([]int(nil), c.Rows...)
+		st.hists[i] = p.newHistSet(c.Rows)
+		st.emds[i] = st.hists[i].emd()
+		st.centroid[i] = micro.Centroid(p.points, c.Rows)
+		st.alive[i] = true
+	}
+	merges := 0
+	for st.nAlive > 1 {
+		worst, worstEMD := -1, 0.0
+		for i := range st.rows {
+			if st.alive[i] && st.emds[i] > worstEMD {
+				worst, worstEMD = i, st.emds[i]
+			}
+		}
+		if worst < 0 || worstEMD <= p.t {
+			break
+		}
+		closest, closestD := -1, 0.0
+		for j := range st.rows {
+			if !st.alive[j] || j == worst {
+				continue
+			}
+			d := micro.Dist2(st.centroid[worst], st.centroid[j])
+			if closest < 0 || d < closestD {
+				closest, closestD = j, d
+			}
+		}
+		if closest < 0 {
+			break
+		}
+		st.merge(p, worst, closest)
+		merges++
+	}
+	out := make([]micro.Cluster, 0, st.nAlive)
+	for i := range st.rows {
+		if st.alive[i] {
+			out = append(out, micro.Cluster{Rows: st.rows[i]})
+		}
+	}
+	return out, merges
+}
+
+// TestMergeHeapMatchesLinearScan pins the worst-cluster max-heap of the
+// Algorithm 1 merge loop to the linear scan it replaced, including the
+// lowest-index tie-breaking among equal EMDs (MDAV partitions of discrete
+// data produce many clusters with identical confidential histograms, so
+// ties are common, not hypothetical).
+func TestMergeHeapMatchesLinearScan(t *testing.T) {
+	tables := []struct {
+		name string
+		k    int
+		tl   float64
+	}{
+		{"tight", 2, 0.03},
+		{"mid", 3, 0.1},
+		{"loose", 5, 0.3},
+	}
+	tbl := synth.PatientDischarge(500, 77)
+	for _, tc := range tables {
+		p, err := newProblem(tbl, tc.k, tc.tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := micro.MDAV(p.points, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotClusters, gotMerges := p.mergeUntilTClose(clusters)
+		wantClusters, wantMerges := referenceMergeUntilTClose(p, clusters)
+		if gotMerges != wantMerges {
+			t.Errorf("%s: merges=%d want %d", tc.name, gotMerges, wantMerges)
+		}
+		if !reflect.DeepEqual(gotClusters, wantClusters) {
+			t.Fatalf("%s: merged partitions diverge", tc.name)
+		}
+	}
+}

@@ -78,11 +78,20 @@ func referenceKAnonymityFirstPartition(p *problem) ([]micro.Cluster, int) {
 		}
 		return out
 	}
+	farthest := func(rows []int, q []float64) int {
+		best, bestD := -1, -1.0
+		for _, r := range rows {
+			if d := micro.Dist2(p.points[r], q); d > bestD {
+				best, bestD = r, d
+			}
+		}
+		return best
+	}
 	var clusters []micro.Cluster
 	swaps := 0
 	for len(avail) > 0 {
 		xa := micro.Centroid(p.points, avail)
-		x0 := micro.Farthest(p.points, avail, xa)
+		x0 := farthest(avail, xa)
 		c, s := referenceGenerateCluster(p, x0, avail)
 		swaps += s
 		avail = removeSorted(avail, c)
@@ -90,7 +99,7 @@ func referenceKAnonymityFirstPartition(p *problem) ([]micro.Cluster, int) {
 		if len(avail) == 0 {
 			break
 		}
-		x1 := micro.Farthest(p.points, avail, p.points[x0])
+		x1 := farthest(avail, p.points[x0])
 		c, s = referenceGenerateCluster(p, x1, avail)
 		swaps += s
 		avail = removeSorted(avail, c)

@@ -25,26 +25,29 @@
 // formulations of the paper. With n records, m distinct confidential values,
 // d quasi-identifiers and cluster size k:
 //
-//   - Algorithm 1: the partitioner's cost plus O((n/k)² + (n/k)·occ·log m)
-//     for the merge loop, whose per-cluster histograms, EMDs and centroids
-//     are cached and updated in O(1) amortized per merge. MDAV itself is
-//     O(n²d/k) for the distance scans (parallelized across cores for large
-//     remainders) with the per-round centroid maintained incrementally in
-//     O(kd) and the k-nearest selection done by quickselect in O(n + k·log
-//     k) instead of a full sort.
-//   - Algorithm 2: the dominant swap refinement evaluates each candidate
-//     against each distinct occupied confidential bin of the cluster — not
-//     each member — and each evaluation costs O(occΔ·log m) via the exact
-//     integer prefix-sum geometry of package emd (occΔ = occupied bins
-//     between the two swapped bins) instead of the naive O(m) rescan, for
-//     O(n²/k · min(k, m₊)·occΔ·log m) worst case where the naive loop was
-//     O(n³/k · m/n). Candidates whose confidential-bin signature already
-//     failed against the current cluster state are skipped in O(1), which
-//     collapses the tail of the scan for discrete confidential domains.
-//     Candidate ordering is consumed lazily from a binary heap, so clusters
-//     that reach t early avoid the full O(n log n) sort.
-//   - Algorithm 3: O(n²d/k) for the seed scans (same incremental centroid
-//     and parallel scan machinery as MDAV) plus O(n·k) subset bookkeeping;
+//   - Algorithm 1: the partitioner's cost plus the merge loop, whose
+//     per-cluster histograms, EMDs and centroids are cached and updated in
+//     O(1) amortized per merge, and whose worst-cluster selection runs on a
+//     lazily invalidated max-heap — O(merges·(log(n/k) + n/k)) with the
+//     linear term only in the partner scan. MDAV itself routes its
+//     Farthest/KNearest rounds through the micro.Searcher spatial index
+//     (k-d tree over the normalized QI cube, subquadratic per round where
+//     the geometry prunes) with the per-round centroid maintained
+//     incrementally in O(kd).
+//   - Algorithm 2: farthest seeds come from the spatial index and swap
+//     candidates from the Searcher's nearest-first stream (lazy while
+//     consumption is light, one radix-sorted pass in the full-drain regime
+//     of tight t). Each candidate is evaluated against each distinct
+//     occupied confidential bin of the cluster — not each member — and each
+//     evaluation runs on the exact integer prefix-sum geometry of package
+//     emd with per-size crossing caches: O(occΔ) integer operations with no
+//     binary searches, and for the paper's k=2 single-attribute
+//     configuration a fully closed form (emd.Space.TwoRecordAbsDev) with
+//     integer accept/reject comparisons. Candidates whose confidential-bin
+//     signature already failed against the current cluster state are
+//     skipped in O(1) where that memo still pays for itself.
+//   - Algorithm 3: seed and per-subset nearest queries run on Searchers
+//     (one global, one per rank subset) plus O(n·k) subset bookkeeping;
 //     still no EMD evaluations at all.
 //
 // Every optimized path is pinned to its naive reference implementation by
