@@ -15,9 +15,11 @@
 //
 // Figures 6 and 7 evaluate independent (dataset, k, t) cells, so the grid
 // fans out across -par worker goroutines (rows are still printed in grid
-// order). Figure 5 measures per-cell wall time and therefore always runs
-// sequentially — concurrent cells would contend for cores and corrupt the
-// timings.
+// order); all workers share one prepared core.Engine per data set, whose
+// substrate and per-k partition caches are concurrency-safe. Figure 5
+// measures per-cell wall time and therefore always runs sequentially, each
+// cell on a freshly prepared engine so the timing covers the algorithm with
+// cold caches — concurrent or cache-warm cells would corrupt the datum.
 //
 // Usage:
 //
@@ -28,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,8 +73,16 @@ func algorithms(skipAlg2 bool) []core.Algorithm {
 	return []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst}
 }
 
-func anonymize(tbl *dataset.Table, alg core.Algorithm, k int, tl float64) *core.Result {
-	res, err := core.Anonymize(tbl, core.Config{
+func newEngine(tbl *dataset.Table) *core.Engine {
+	eng, err := core.NewEngine(tbl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eng
+}
+
+func anonymize(eng *core.Engine, alg core.Algorithm, k int, tl float64) *core.Result {
+	res, err := eng.Run(context.Background(), core.Spec{
 		Algorithm: alg, K: k, T: tl, SkipAssessment: true,
 	})
 	if err != nil {
@@ -94,8 +105,9 @@ func figure5(n int, skipAlg2 bool) {
 	tbl := synth.PatientDischarge(n, synth.DefaultSeed)
 	for _, tl := range figTs {
 		for _, alg := range algorithms(skipAlg2) {
+			eng := newEngine(tbl) // fresh caches; preparation is untimed
 			start := time.Now()
-			anonymize(tbl, alg, 2, tl)
+			anonymize(eng, alg, 2, tl)
 			fmt.Printf("%.2f\t%v\t%.4f\n", tl, alg, time.Since(start).Seconds())
 		}
 	}
@@ -128,10 +140,14 @@ func figure6(n int, skipAlg2 bool) {
 			}
 		}
 	}
+	engines := make([]*core.Engine, len(sets))
+	for i := range sets {
+		engines[i] = newEngine(sets[i].tbl)
+	}
 	sse := make([]float64, len(cells))
 	runCells(len(cells), func(i int) {
 		c := cells[i]
-		sse[i] = anonymize(sets[c.ds].tbl, c.alg, 2, c.t).SSE
+		sse[i] = anonymize(engines[c.ds], c.alg, 2, c.t).SSE
 	})
 	for i, c := range cells {
 		fmt.Printf("%s\t%.2f\t%v\t%.6f\n", sets[c.ds].name, c.t, c.alg, sse[i])
@@ -143,7 +159,7 @@ func figure6(n int, skipAlg2 bool) {
 func figure7() {
 	fmt.Println("FIGURE 7 — normalized SSE over (k, t), MCD")
 	fmt.Println("k\tt\talgorithm\tSSE")
-	tbl := synth.CensusMCD()
+	eng := newEngine(synth.CensusMCD())
 	start := time.Now()
 	algs := []core.Algorithm{core.Merge, core.KAnonymityFirst, core.TClosenessFirst}
 	type cell struct {
@@ -162,7 +178,7 @@ func figure7() {
 	sse := make([]float64, len(cells))
 	runCells(len(cells), func(i int) {
 		c := cells[i]
-		sse[i] = anonymize(tbl, c.alg, c.k, c.t).SSE
+		sse[i] = anonymize(eng, c.alg, c.k, c.t).SSE
 	})
 	for i, c := range cells {
 		fmt.Printf("%d\t%.2f\t%v\t%.6f\n", c.k, c.t, c.alg, sse[i])

@@ -16,14 +16,18 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"repro/internal/core"
 )
 
+// cell's algorithm decodes through core.Algorithm's encoding.TextUnmarshaler,
+// so any spelling ParseAlgorithm accepts compares under its canonical name.
 type cell struct {
-	Algorithm string  `json:"algorithm"`
-	K         int     `json:"k"`
-	T         float64 `json:"t"`
-	N         int     `json:"n"`
-	Seconds   float64 `json:"seconds"`
+	Algorithm core.Algorithm `json:"algorithm"`
+	K         int            `json:"k"`
+	T         float64        `json:"t"`
+	N         int            `json:"n"`
+	Seconds   float64        `json:"seconds"`
 }
 
 type report struct {
@@ -32,7 +36,7 @@ type report struct {
 }
 
 type key struct {
-	alg string
+	alg core.Algorithm
 	k   int
 	t   float64
 	n   int
@@ -84,7 +88,7 @@ func main() {
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
 		if a.alg != b.alg {
-			return a.alg < b.alg
+			return a.alg.String() < b.alg.String()
 		}
 		if a.k != b.k {
 			return a.k < b.k

@@ -3,9 +3,14 @@
 // the per-cell timings as JSON, giving the repository a machine-readable
 // performance trajectory across PRs (BENCH_1.json, BENCH_2.json, ...).
 //
-// Cells are measured sequentially (concurrency would contend for cores and
-// corrupt the timings); each cell is run -reps times and the minimum wall
-// time is reported, the standard way to suppress scheduler noise.
+// Each measured run goes through a freshly prepared core.Engine whose
+// substrate preparation happens outside the timed region: a cell times the
+// algorithm itself, with cold partition caches, so the trajectory stays
+// comparable across PRs (a shared engine would let the per-k partition
+// caches absorb most of the later cells). Cells are measured sequentially
+// (concurrency would contend for cores and corrupt the timings); each cell
+// is run -reps times and the minimum wall time is reported, the standard
+// way to suppress scheduler noise.
 //
 // Usage:
 //
@@ -16,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,14 +36,15 @@ import (
 
 // Cell is one measured grid point. N is the sample size the cell was
 // measured at (reports written before the -full flag existed omit it; it
-// then defaults to the report-level N).
+// then defaults to the report-level N). The algorithm serializes as its
+// canonical name via core.Algorithm's encoding.TextMarshaler.
 type Cell struct {
-	Algorithm string  `json:"algorithm"`
-	K         int     `json:"k"`
-	T         float64 `json:"t"`
-	N         int     `json:"n,omitempty"`
-	NsOp      int64   `json:"ns_op"`
-	Seconds   float64 `json:"seconds"`
+	Algorithm core.Algorithm `json:"algorithm"`
+	K         int            `json:"k"`
+	T         float64        `json:"t"`
+	N         int            `json:"n,omitempty"`
+	NsOp      int64          `json:"ns_op"`
+	Seconds   float64        `json:"seconds"`
 }
 
 // Report is the emitted document.
@@ -79,14 +86,19 @@ func main() {
 		GoVersion: runtime.Version(),
 		Note:      *note,
 	}
+	ctx := context.Background()
 	for _, size := range sizes {
 		tbl := synth.PatientDischarge(size, synth.DefaultSeed)
 		for _, alg := range algs {
 			for _, tl := range ts {
 				best := time.Duration(0)
 				for r := 0; r < *reps; r++ {
+					eng, err := core.NewEngine(tbl)
+					if err != nil {
+						log.Fatalf("n=%d: %v", size, err)
+					}
 					start := time.Now()
-					if _, err := core.Anonymize(tbl, core.Config{
+					if _, err := eng.Run(ctx, core.Spec{
 						Algorithm: alg, K: 2, T: tl, SkipAssessment: true,
 					}); err != nil {
 						log.Fatalf("%v n=%d t=%v: %v", alg, size, tl, err)
@@ -96,7 +108,7 @@ func main() {
 					}
 				}
 				rep.Cells = append(rep.Cells, Cell{
-					Algorithm: fmt.Sprintf("%v", alg),
+					Algorithm: alg,
 					K:         2,
 					T:         tl,
 					N:         size,

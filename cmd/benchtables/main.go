@@ -11,7 +11,10 @@
 //
 // Every (algorithm, dataset, k, t) cell is independent, so the whole grid is
 // evaluated across -par worker goroutines before the tables are printed in
-// order.
+// order. All workers share one prepared core.Engine per data set: the
+// substrate is built once, and the per-k partition caches (MDAV for
+// Algorithm 1, the k'-keyed partitions of Algorithm 3) are reused across
+// the t axis of the grid.
 //
 // Usage:
 //
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,7 +35,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/par"
 	"repro/internal/synth"
 )
@@ -53,7 +56,14 @@ func main() {
 	if *quick {
 		kGrid, tGrid = quickKs, quickTs
 	}
-	mcd, hcd := synth.CensusMCD(), synth.CensusHCD()
+	mcd, err := core.NewEngine(synth.CensusMCD())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcd, err := core.NewEngine(synth.CensusHCD())
+	if err != nil {
+		log.Fatal(err)
+	}
 	algs := []struct {
 		num int
 		alg core.Algorithm
@@ -75,9 +85,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func printTable(alg core.Algorithm, mcd, hcd *dataset.Table, kGrid []int, tGrid []float64, workers int) {
+func printTable(alg core.Algorithm, mcd, hcd *core.Engine, kGrid []int, tGrid []float64, workers int) {
 	type cellKey struct {
-		tbl *dataset.Table
+		eng *core.Engine
 		k   int
 		t   float64
 	}
@@ -89,7 +99,7 @@ func printTable(alg core.Algorithm, mcd, hcd *dataset.Table, kGrid []int, tGrid 
 	}
 	results := make([]string, len(keys))
 	par.Cells(len(keys), workers, func(i int) {
-		results[i] = cell(alg, keys[i].tbl, keys[i].k, keys[i].t)
+		results[i] = cell(alg, keys[i].eng, keys[i].k, keys[i].t)
 	})
 
 	w := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
@@ -115,8 +125,8 @@ func printTable(alg core.Algorithm, mcd, hcd *dataset.Table, kGrid []int, tGrid 
 	}
 }
 
-func cell(alg core.Algorithm, tbl *dataset.Table, k int, tl float64) string {
-	res, err := core.Anonymize(tbl, core.Config{
+func cell(alg core.Algorithm, eng *core.Engine, k int, tl float64) string {
+	res, err := eng.Run(context.Background(), core.Spec{
 		Algorithm: alg, K: k, T: tl, SkipAssessment: true,
 	})
 	if err != nil {

@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -48,7 +50,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := repro.Anonymize(table, repro.Config{Algorithm: alg, K: *k, T: *t})
+	// ^C cancels the run cooperatively instead of killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng, err := repro.New(table)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(ctx, repro.Spec{Algorithm: alg, K: *k, T: *t})
 	if err != nil {
 		return err
 	}

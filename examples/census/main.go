@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,9 +44,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(w, "%s\t(measured corr %.3f, n=%d)\t\t\t\t\t\t\n", ds.name, corr, ds.tbl.Len())
+		// One prepared engine per data set: the whole (algorithm, t) sweep
+		// below shares its substrate and per-k partition caches.
+		eng, err := repro.New(ds.tbl)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, tl := range tValues {
 			for _, alg := range algs {
-				res, err := repro.Anonymize(ds.tbl, repro.Config{
+				res, err := eng.Run(context.Background(), repro.Spec{
 					Algorithm: alg, K: *k, T: tl, SkipAssessment: true,
 				})
 				if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -55,7 +56,11 @@ func main() {
 		}
 	}
 
-	res, err := repro.Anonymize(table, repro.Config{
+	eng, err := repro.New(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), repro.Spec{
 		Algorithm: repro.Merge, // Algorithm 1 carries the guarantee for nominal EMD
 		K:         *k,
 		T:         *tl,

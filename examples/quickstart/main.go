@@ -1,10 +1,17 @@
 // Command quickstart is the smallest end-to-end use of the library: build a
-// microdata table in code, anonymize it with the t-closeness-first
-// algorithm (the paper's Algorithm 3, its best performer), and inspect the
-// release and its privacy report.
+// microdata table in code, prepare an anonymization engine over it, run the
+// t-closeness-first algorithm (the paper's Algorithm 3, its best performer),
+// and inspect the release and its privacy report.
+//
+// The engine (repro.New) is the primary API: it prepares the shared
+// substrate once, so running more parameter points — or re-running after
+// appending freshly arrived records — costs only the algorithm itself. The
+// older one-shot repro.Anonymize(table, cfg) is deprecated but fully
+// supported; it behaves exactly like a single Run on a throwaway engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,9 +55,15 @@ func main() {
 		}
 	}
 
-	// 2. Anonymize: hide every subject among k=3 records and keep each
-	//    group's salary distribution within EMD t=0.3 of the global one.
-	res, err := repro.Anonymize(table, repro.Config{
+	// 2. Prepare the engine once, then anonymize: hide every subject among
+	//    k=3 records and keep each group's salary distribution within EMD
+	//    t=0.3 of the global one. The context cancels long runs cooperatively
+	//    (useful with larger tables and tighter parameters).
+	eng, err := repro.New(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), repro.Spec{
 		Algorithm: repro.TClosenessFirst,
 		K:         3,
 		T:         0.3,
@@ -73,4 +86,23 @@ func main() {
 	if err := res.Anonymized.WriteCSV(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+
+	// 5. Streaming ingest: new records append as a table epoch — the engine
+	//    extends its prepared state incrementally instead of rebuilding —
+	//    and the next Run covers everyone, exactly as if the engine had been
+	//    built over the full table from the start.
+	if err := eng.Append(
+		[]any{"mia", 27.0, 43002.0, 23000.0},
+		[]any{"ned", 66.0, 43004.0, 74000.0},
+	); err != nil {
+		log.Fatal(err)
+	}
+	res, err = eng.Run(context.Background(), repro.Spec{
+		Algorithm: repro.TClosenessFirst, K: 3, T: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter appending 2 records (epoch %d, n=%d): %d clusters, t=%.4f\n",
+		eng.Epoch(), eng.Len(), len(res.Clusters), res.MaxEMD)
 }

@@ -4,19 +4,22 @@
 // microaggregation-for-t-closeness algorithms (or a generalization
 // baseline), performs the aggregation step, and assembles the privacy and
 // utility diagnostics the evaluation section reports.
+//
+// The primary entry point is the Engine: NewEngine prepares the reusable
+// per-table substrate once, Engine.Run executes any algorithm against it
+// under a context, and Engine.Append ingests new records in epochs. The
+// one-shot Anonymize remains as a thin compatibility shim over a throwaway
+// engine.
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/dataset"
-	"repro/internal/generalization"
-	"repro/internal/metrics"
 	"repro/internal/micro"
 	"repro/internal/privacy"
-	"repro/internal/sabre"
 	"repro/internal/tclose"
 )
 
@@ -65,6 +68,29 @@ func (a Algorithm) String() string {
 	}
 }
 
+// MarshalText encodes the algorithm as its canonical report name (the
+// String form, which ParseAlgorithm round-trips), implementing
+// encoding.TextMarshaler so Algorithm fields serialize as readable names in
+// JSON documents like the benchmark evidence files.
+func (a Algorithm) MarshalText() ([]byte, error) {
+	switch a {
+	case Merge, KAnonymityFirst, TClosenessFirst, MondrianBaseline, SABREBaseline, IncognitoBaseline:
+		return []byte(a.String()), nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", int(a))
+}
+
+// UnmarshalText decodes any name ParseAlgorithm accepts, implementing
+// encoding.TextUnmarshaler.
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	alg, err := ParseAlgorithm(string(text))
+	if err != nil {
+		return err
+	}
+	*a = alg
+	return nil
+}
+
 // ParseAlgorithm resolves a command-line name ("1", "alg1", "merge", ...)
 // into an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
@@ -86,8 +112,9 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	}
 }
 
-// Config parameterizes Anonymize.
-type Config struct {
+// Spec parameterizes one anonymization run (Engine.Run or the legacy
+// Anonymize): which algorithm and at which privacy level.
+type Spec struct {
 	// Algorithm selects the anonymization method. The zero value is Merge
 	// (Algorithm 1).
 	Algorithm Algorithm
@@ -97,13 +124,21 @@ type Config struct {
 	// class's confidential distribution and the global one).
 	T float64
 	// Partitioner overrides the initial microaggregation of Algorithm 1
-	// (nil selects MDAV). Ignored by the other algorithms.
+	// (nil selects MDAV). Ignored by the other algorithms. Note that the
+	// engine caches default-MDAV partitions per k; a custom partitioner is
+	// invoked on every run.
 	Partitioner tclose.Partitioner
 	// SkipAssessment suppresses the independent privacy re-verification of
 	// the output, which costs an extra O(n + classes·bins) pass; benchmarks
 	// of the algorithms themselves set it.
 	SkipAssessment bool
 }
+
+// Config is the legacy name of Spec, kept so one-shot Anonymize callers
+// compile unchanged.
+//
+// Deprecated: use Spec with NewEngine / Engine.Run.
+type Config = Spec
 
 // Result is the outcome of a full anonymization run.
 type Result struct {
@@ -124,106 +159,50 @@ type Result struct {
 	// it per Eq. 3-4).
 	EffectiveK int
 	// Privacy is an independent re-verification of the release (nil when
-	// Config.SkipAssessment is set).
+	// Spec.SkipAssessment is set).
 	Privacy *privacy.Report
 	// Elapsed is the wall-clock anonymization time (partition +
-	// aggregation, excluding assessment).
+	// aggregation, excluding substrate preparation and assessment).
 	Elapsed time.Duration
 }
 
 // Anonymize runs the configured algorithm over the table and returns the
-// release plus diagnostics. The input table is not modified.
+// release plus diagnostics. The input table is not modified. Every call
+// rebuilds the shared substrate from scratch; parameter sweeps should
+// prepare an Engine once and Run each point instead.
+//
+// Deprecated: use NewEngine and Engine.Run. Anonymize remains fully
+// supported and bit-identical to an Engine run over a fresh engine.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
-	if t == nil {
-		return nil, errors.New("core: nil table")
+	// Parameter validation precedes the substrate build so that invalid
+	// calls stay as cheap as they were before the engine existed.
+	if err := validateSpec(cfg); err != nil {
+		return nil, err
 	}
-	start := time.Now()
-	var (
-		clusters          []micro.Cluster
-		maxEMD            float64
-		merges, swaps, ek int
-		anonymized        *dataset.Table
-		err               error
-	)
-	switch cfg.Algorithm {
-	case Merge:
-		var res *tclose.Result
-		res, err = tclose.Algorithm1(t, cfg.K, cfg.T, cfg.Partitioner)
-		if err == nil {
-			clusters, maxEMD, merges, ek = res.Clusters, res.MaxEMD, res.Merges, res.EffectiveK
-		}
-	case KAnonymityFirst:
-		var res *tclose.Result
-		res, err = tclose.Algorithm2(t, cfg.K, cfg.T)
-		if err == nil {
-			clusters, maxEMD, merges, swaps, ek = res.Clusters, res.MaxEMD, res.Merges, res.Swaps, res.EffectiveK
-		}
-	case TClosenessFirst:
-		var res *tclose.Result
-		res, err = tclose.Algorithm3(t, cfg.K, cfg.T)
-		if err == nil {
-			clusters, maxEMD, ek = res.Clusters, res.MaxEMD, res.EffectiveK
-		}
-	case MondrianBaseline:
-		clusters, err = generalization.MondrianT(t, cfg.K, cfg.T)
-		if err == nil {
-			maxEMD, err = privacy.TClosenessOf(t, clusters)
-			ek = cfg.K
-		}
-	case SABREBaseline:
-		var res *sabre.Result
-		res, err = sabre.Anonymize(t, cfg.K, cfg.T)
-		if err == nil {
-			clusters, maxEMD, ek = res.Clusters, res.MaxEMD, res.ECSize
-		}
-	case IncognitoBaseline:
-		var res *generalization.GenResult
-		res, err = generalization.IncognitoT(t, cfg.K, cfg.T, 0)
-		if err == nil {
-			clusters, maxEMD, ek = res.Clusters, res.MaxEMD, cfg.K
-			anonymized, err = generalization.Recode(t, res.Levels, 0)
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
-	}
+	eng, err := newEngine(t, false)
 	if err != nil {
 		return nil, err
 	}
-	switch {
-	case anonymized != nil:
-		// IncognitoBaseline already produced its generalized release.
-	case cfg.Algorithm == MondrianBaseline:
-		anonymized, err = generalization.Aggregate(t, clusters)
-	default:
-		anonymized, err = micro.Aggregate(t, clusters)
-	}
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	sse, err := metrics.NormalizedSSE(t, anonymized)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Anonymized: anonymized,
-		Clusters:   clusters,
-		MaxEMD:     maxEMD,
-		Sizes:      micro.Sizes(clusters),
-		SSE:        sse,
-		Merges:     merges,
-		Swaps:      swaps,
-		EffectiveK: ek,
-		Elapsed:    elapsed,
-	}
-	if !cfg.SkipAssessment {
-		rep, err := assess(t, clusters)
-		if err != nil {
-			return nil, err
+	return eng.Run(context.Background(), cfg)
+}
+
+// validateSpec applies the paper algorithms' parameter validation up
+// front, with the same sentinel errors they return, so invalid calls fail
+// before any substrate is built. The baselines validate for themselves —
+// their domains differ (Mondrian accepts any t, treating values above the
+// EMD ceiling as unconstrained), so pre-checking here would change their
+// legacy behavior.
+func validateSpec(spec Spec) error {
+	switch spec.Algorithm {
+	case Merge, KAnonymityFirst, TClosenessFirst:
+		if spec.K < 1 {
+			return tclose.ErrBadK
 		}
-		res.Privacy = rep
+		if spec.T <= 0 || spec.T > 1 {
+			return fmt.Errorf("%w: got %v", tclose.ErrBadT, spec.T)
+		}
 	}
-	return res, nil
+	return nil
 }
 
 // assess re-verifies the partition directly (rather than via the aggregated

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/emd"
+	"repro/internal/generalization"
+	"repro/internal/metrics"
+	"repro/internal/micro"
+	"repro/internal/privacy"
+	"repro/internal/sabre"
+	"repro/internal/tclose"
+)
+
+// Engine is a prepared, reusable anonymization session over one table. It
+// builds the shared substrate — the normalized quasi-identifier matrix, the
+// per-attribute EMD dataset-prefix geometry, the packed confidential
+// signatures, and a lazily built spatial index — once, and executes any
+// number of Run calls against it without recomputation. Where a partition
+// depends on fewer parameters than the full (algorithm, k, t) triple (MDAV
+// on k alone, Algorithm 3 on the effective cluster size alone), it is
+// additionally cached across runs, so parameter sweeps — the shape of the
+// paper's whole evaluation — stop paying per point.
+//
+// An Engine is safe for concurrent use: Run calls may overlap each other
+// and Append. Tuning is engine-scoped (see WithWorkers, WithIndexCrossover)
+// instead of going through the deprecated micro package globals, so
+// concurrent engines with different settings never race.
+type Engine struct {
+	tun      micro.Tuning
+	progress func(Progress)
+
+	mu    sync.Mutex
+	state *engineState
+}
+
+// engineState is one immutable table epoch: Run snapshots it, Append swaps
+// in a successor, and in-flight runs keep working on the snapshot they
+// took.
+type engineState struct {
+	epoch int
+	table *dataset.Table
+	prep  *tclose.Prepared
+}
+
+// Progress is one coarse-grained progress event of an engine run; see
+// WithProgress.
+type Progress struct {
+	// Algorithm is the algorithm of the reporting run.
+	Algorithm Algorithm
+	// Phase names the loop reporting: "partition" or "merge".
+	Phase string
+	// Done counts completed work units (records clustered, merges done).
+	Done int
+	// Total is the known total for the phase, 0 when unbounded.
+	Total int
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithWorkers caps the goroutine fan-out of this engine's parallel
+// distance scans and spatial-index builds. It replaces writing the
+// deprecated micro.MaxScanWorkers global, which races across concurrent
+// runs; results are bit-identical for any value. Values < 1 keep the
+// process-wide default.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.tun.Workers = n }
+}
+
+// WithIndexCrossover sets the candidate-set size at or above which this
+// engine's neighbor searches build the k-d tree index, replacing the
+// deprecated micro.IndexCrossover global. Both sides of the crossover
+// produce identical partitions; it is purely a performance knob. Values < 1
+// keep the process-wide default.
+func WithIndexCrossover(n int) Option {
+	return func(e *Engine) { e.tun.IndexCrossover = n }
+}
+
+// WithProgress installs a hook receiving coarse progress events from the
+// partition and merge loops of the paper's three algorithms. The hook is
+// called synchronously on the running goroutine — and, under concurrent
+// runs, from several goroutines at once — so it must be fast and
+// thread-safe.
+func WithProgress(fn func(Progress)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// NewEngine prepares an engine over a private copy of the table: later
+// mutations of the caller's table do not affect the engine, and ingest goes
+// through Append. Preparation validates the schema and builds the shared
+// substrate once.
+func NewEngine(t *dataset.Table, opts ...Option) (*Engine, error) {
+	return newEngine(t, true, opts...)
+}
+
+// newEngine optionally skips the defensive table copy — the Anonymize shim
+// path, which by contract reads the caller's table directly and never
+// appends.
+func newEngine(t *dataset.Table, clone bool, opts ...Option) (*Engine, error) {
+	if t == nil {
+		return nil, errors.New("core: nil table")
+	}
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if clone {
+		t = t.Clone()
+	}
+	prep, err := tclose.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	prep.Matrix().SetTuning(e.tun)
+	prep.Matrix().EnableIndexCache()
+	e.state = &engineState{table: t, prep: prep}
+	return e, nil
+}
+
+// snapshot returns the current table epoch.
+func (e *Engine) snapshot() *engineState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// Epoch returns the number of Append batches ingested so far.
+func (e *Engine) Epoch() int { return e.snapshot().epoch }
+
+// Len returns the current number of records.
+func (e *Engine) Len() int { return e.snapshot().table.Len() }
+
+// Table returns the engine's current table. It is shared with in-flight
+// and future runs and must be treated as read-only; ingest new records via
+// Append.
+func (e *Engine) Table() *dataset.Table { return e.snapshot().table }
+
+// Append ingests a batch of records as a new table epoch: each row takes
+// the same values dataset.Table.AppendRow does (float64/int for numeric
+// attributes, string for categorical ones). The substrate is extended
+// incrementally — EMD spaces merge the new values into their prefix
+// geometry, and the normalized matrix is renormalized only when an
+// appended value widens a quasi-identifier's range — and subsequent runs
+// are bit-identical to runs of a fresh engine over the concatenated table.
+// In-flight runs keep the epoch they started on. On error nothing changes.
+func (e *Engine) Append(rows ...[]any) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.state
+	table := st.table.Clone()
+	for _, r := range rows {
+		if err := table.AppendRow(r...); err != nil {
+			return err
+		}
+	}
+	prep, err := st.prep.Extend(table)
+	if err != nil {
+		return err
+	}
+	e.state = &engineState{epoch: st.epoch + 1, table: table, prep: prep}
+	return nil
+}
+
+// orderedSpaces returns the prepared EMD spaces when every confidential
+// attribute uses the ordered distance — the frame the generalization
+// baselines' t checks are defined over — and nil otherwise (the baselines
+// then build their own ordered spaces, preserving their pre-engine
+// behavior for categorical confidentials, which the prepared substrate
+// models with the nominal distance instead).
+func (st *engineState) orderedSpaces() []*emd.Space {
+	spaces := st.prep.Spaces()
+	for _, s := range spaces {
+		if s.Nominal() {
+			return nil
+		}
+	}
+	return spaces
+}
+
+// runOpts builds the per-run options handed to the prepared algorithms.
+func (e *Engine) runOpts(ctx context.Context, alg Algorithm) tclose.Run {
+	run := tclose.Run{Ctx: ctx}
+	if e.progress != nil {
+		fn := e.progress
+		run.Progress = func(p tclose.Progress) {
+			fn(Progress{Algorithm: alg, Phase: p.Phase, Done: p.Done, Total: p.Total})
+		}
+	}
+	return run
+}
+
+// Run executes one anonymization against the engine's current table epoch
+// and returns the release plus diagnostics. The context cancels the run
+// between partition, merge and refinement steps (the run then returns
+// ctx.Err()); results are bit-identical to the one-shot Anonymize over the
+// same records. Run is safe to call concurrently with other runs and with
+// Append.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := e.snapshot()
+	start := time.Now()
+	var (
+		clusters          []micro.Cluster
+		maxEMD            float64
+		merges, swaps, ek int
+		anonymized        *dataset.Table
+		err               error
+	)
+	switch spec.Algorithm {
+	case Merge:
+		var res *tclose.Result
+		res, err = st.prep.Algorithm1(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T, spec.Partitioner)
+		if err == nil {
+			clusters, maxEMD, merges, ek = res.Clusters, res.MaxEMD, res.Merges, res.EffectiveK
+		}
+	case KAnonymityFirst:
+		var res *tclose.Result
+		res, err = st.prep.Algorithm2(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T)
+		if err == nil {
+			clusters, maxEMD, merges, swaps, ek = res.Clusters, res.MaxEMD, res.Merges, res.Swaps, res.EffectiveK
+		}
+	case TClosenessFirst:
+		var res *tclose.Result
+		res, err = st.prep.Algorithm3(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T)
+		if err == nil {
+			clusters, maxEMD, ek = res.Clusters, res.MaxEMD, res.EffectiveK
+		}
+	case MondrianBaseline:
+		clusters, err = generalization.MondrianTPrepared(ctx, st.table, spec.K, spec.T, st.orderedSpaces())
+		if err == nil {
+			maxEMD, err = privacy.TClosenessOf(st.table, clusters)
+			ek = spec.K
+		}
+	case SABREBaseline:
+		var res *sabre.Result
+		res, err = sabre.AnonymizeCtx(ctx, st.table, spec.K, spec.T, &sabre.Env{
+			Mat:   st.prep.Matrix(),
+			Order: st.prep.ConfOrder(),
+		})
+		if err == nil {
+			clusters, maxEMD, ek = res.Clusters, res.MaxEMD, res.ECSize
+		}
+	case IncognitoBaseline:
+		var res *generalization.GenResult
+		res, err = generalization.IncognitoTPrepared(ctx, st.table, spec.K, spec.T, 0, st.orderedSpaces())
+		if err == nil {
+			clusters, maxEMD, ek = res.Clusters, res.MaxEMD, spec.K
+			anonymized, err = generalization.Recode(st.table, res.Levels, 0)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", spec.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case anonymized != nil:
+		// IncognitoBaseline already produced its generalized release.
+	case spec.Algorithm == MondrianBaseline:
+		anonymized, err = generalization.Aggregate(st.table, clusters)
+	default:
+		anonymized, err = micro.Aggregate(st.table, clusters)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	sse, err := metrics.NormalizedSSE(st.table, anonymized)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Anonymized: anonymized,
+		Clusters:   clusters,
+		MaxEMD:     maxEMD,
+		Sizes:      micro.Sizes(clusters),
+		SSE:        sse,
+		Merges:     merges,
+		Swaps:      swaps,
+		EffectiveK: ek,
+		Elapsed:    elapsed,
+	}
+	if !spec.SkipAssessment {
+		rep, err := assess(st.table, clusters)
+		if err != nil {
+			return nil, err
+		}
+		res.Privacy = rep
+	}
+	return res, nil
+}

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+// assertSameResult compares the outcome fields that are deterministic
+// functions of the partition; Elapsed and Privacy pointers are excluded.
+func assertSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+		t.Fatalf("%s: partitions diverge", label)
+	}
+	if got.MaxEMD != want.MaxEMD {
+		t.Fatalf("%s: MaxEMD %v want %v", label, got.MaxEMD, want.MaxEMD)
+	}
+	if got.SSE != want.SSE {
+		t.Fatalf("%s: SSE %v want %v", label, got.SSE, want.SSE)
+	}
+	if got.Merges != want.Merges || got.Swaps != want.Swaps || got.EffectiveK != want.EffectiveK {
+		t.Fatalf("%s: merges/swaps/effectiveK (%d,%d,%d) want (%d,%d,%d)", label,
+			got.Merges, got.Swaps, got.EffectiveK, want.Merges, want.Swaps, want.EffectiveK)
+	}
+}
+
+// TestEngineSweepMatchesAnonymize is the equivalence property of the API
+// redesign: a (k, t) sweep through one shared Engine yields results
+// bit-identical to cold one-shot Anonymize calls, for every algorithm —
+// including the cached-partition paths of Algorithms 1 and 3, which a sweep
+// hits on its second t point.
+func TestEngineSweepMatchesAnonymize(t *testing.T) {
+	tbl := synth.Census(400, synth.FedTax, 5)
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	algs := []Algorithm{Merge, KAnonymityFirst, TClosenessFirst, MondrianBaseline, SABREBaseline, IncognitoBaseline}
+	for _, alg := range algs {
+		for _, k := range []int{2, 4} {
+			for _, tl := range []float64{0.08, 0.2} {
+				spec := Spec{Algorithm: alg, K: k, T: tl, SkipAssessment: true}
+				got, err := eng.Run(ctx, spec)
+				if err != nil {
+					t.Fatalf("%v k=%d t=%v: engine: %v", alg, k, tl, err)
+				}
+				want, err := Anonymize(tbl, spec)
+				if err != nil {
+					t.Fatalf("%v k=%d t=%v: cold: %v", alg, k, tl, err)
+				}
+				assertSameResult(t, spec.Algorithm.String(), got, want)
+			}
+		}
+	}
+}
+
+// TestEngineSweepMatchesAnonymizeIndexed repeats the sweep equivalence on a
+// table large enough to engage the shared k-d tree master and its per-run
+// clones.
+func TestEngineSweepMatchesAnonymizeIndexed(t *testing.T) {
+	tbl := synth.PatientDischarge(2600, synth.DefaultSeed)
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, alg := range []Algorithm{Merge, TClosenessFirst} {
+		for _, tl := range []float64{0.05, 0.2} {
+			spec := Spec{Algorithm: alg, K: 3, T: tl, SkipAssessment: true}
+			got, err := eng.Run(ctx, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Anonymize(tbl, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, spec.Algorithm.String(), got, want)
+		}
+	}
+}
+
+// appendRows converts table rows into Append batches (numeric tables only).
+func appendRows(tbl *dataset.Table, lo, hi int) [][]any {
+	rows := make([][]any, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		row := make([]any, tbl.Width())
+		for c := 0; c < tbl.Width(); c++ {
+			row[c] = tbl.Value(r, c)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TestEngineAppendMatchesCold checks the epoch-append property: Append
+// followed by Run is bit-identical to a cold run over the concatenated
+// table, for every algorithm family touched by the prepared substrate.
+func TestEngineAppendMatchesCold(t *testing.T) {
+	full := synth.PatientDischarge(900, synth.DefaultSeed)
+	base, err := full.Subset(iota0(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two batches exercise repeated epochs.
+	if err := eng.Append(appendRows(full, 700, 800)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Append(appendRows(full, 800, 900)...); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != 2 || eng.Len() != 900 {
+		t.Fatalf("epoch=%d len=%d, want 2, 900", eng.Epoch(), eng.Len())
+	}
+	ctx := context.Background()
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst, TClosenessFirst, SABREBaseline} {
+		spec := Spec{Algorithm: alg, K: 3, T: 0.1, SkipAssessment: true}
+		got, err := eng.Run(ctx, spec)
+		if err != nil {
+			t.Fatalf("%v: engine: %v", alg, err)
+		}
+		want, err := Anonymize(full, spec)
+		if err != nil {
+			t.Fatalf("%v: cold: %v", alg, err)
+		}
+		assertSameResult(t, alg.String(), got, want)
+		// The released tables must agree value-for-value too.
+		for c := 0; c < full.Width(); c++ {
+			for r := 0; r < full.Len(); r++ {
+				if got.Anonymized.Value(r, c) != want.Anonymized.Value(r, c) {
+					t.Fatalf("%v: release diverges at (%d,%d)", alg, r, c)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineAppendWidensRange forces the full-renormalization path: the
+// appended record moves a quasi-identifier's min-max frame, so every
+// normalized row changes, and the result must still match a cold engine.
+func TestEngineAppendWidensRange(t *testing.T) {
+	tbl := synth.Uniform(120, 2, 9)
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extreme := make([]any, tbl.Width())
+	for c := 0; c < tbl.Width(); c++ {
+		extreme[c] = 1e6 + float64(c)
+	}
+	ordinary := make([]any, tbl.Width())
+	for c := 0; c < tbl.Width(); c++ {
+		ordinary[c] = tbl.Value(3, c)
+	}
+	if err := eng.Append(extreme, ordinary); err != nil {
+		t.Fatal(err)
+	}
+	cold := tbl.Clone()
+	if err := cold.AppendRow(extreme...); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.AppendRow(ordinary...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst, TClosenessFirst} {
+		spec := Spec{Algorithm: alg, K: 2, T: 0.15, SkipAssessment: true}
+		got, err := eng.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Anonymize(cold, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, alg.String(), got, want)
+	}
+}
+
+// TestEngineAppendErrorLeavesStateIntact: a bad batch must not advance the
+// epoch or corrupt the substrate.
+func TestEngineAppendErrorLeavesStateIntact(t *testing.T) {
+	tbl := synth.Uniform(60, 2, 4)
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Append([]any{1.0}); err == nil {
+		t.Fatal("short row should fail")
+	}
+	if eng.Epoch() != 0 || eng.Len() != tbl.Len() {
+		t.Fatalf("failed append changed state: epoch=%d len=%d", eng.Epoch(), eng.Len())
+	}
+	if _, err := eng.Run(context.Background(), Spec{Algorithm: TClosenessFirst, K: 2, T: 0.2, SkipAssessment: true}); err != nil {
+		t.Fatalf("engine unusable after failed append: %v", err)
+	}
+}
+
+// TestEngineRunCancelled: a pre-cancelled context aborts every algorithm
+// with ctx.Err() before any partition work completes.
+func TestEngineRunCancelled(t *testing.T) {
+	tbl := synth.Census(300, synth.FedTax, 5)
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	algs := []Algorithm{Merge, KAnonymityFirst, TClosenessFirst, MondrianBaseline, SABREBaseline, IncognitoBaseline}
+	for _, alg := range algs {
+		_, err := eng.Run(ctx, Spec{Algorithm: alg, K: 3, T: 0.1, SkipAssessment: true})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", alg, err)
+		}
+	}
+}
+
+// TestEngineRunCancelMidPartition cancels deliberately slow runs shortly
+// after they start: each must return ctx.Err() promptly instead of
+// completing (cold runs of these configurations take hundreds of
+// milliseconds to seconds, so a nil error here would mean cancellation is
+// not checked). Merge lands inside the ctx-aware MDAV partition; Algorithm
+// 2 inside the swap-refinement rounds.
+func TestEngineRunCancelMidPartition(t *testing.T) {
+	tbl := synth.PatientDischarge(6000, synth.DefaultSeed)
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst} {
+		eng, err := NewEngine(tbl) // fresh engine: no partition cache to short-circuit MDAV
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(15 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err = eng.Run(ctx, Spec{Algorithm: alg, K: 2, T: 0.02, SkipAssessment: true})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", alg, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%v: cancellation took %v, not prompt", alg, elapsed)
+		}
+	}
+}
+
+// TestEngineConcurrentRuns drives two goroutines through one engine —
+// different parameter points, overlapping the lazy index build and the
+// partition caches — and checks both against cold references. CI runs this
+// package under -race, making it the data-race probe of the shared
+// substrate.
+func TestEngineConcurrentRuns(t *testing.T) {
+	tbl := synth.Census(500, synth.Fica, 11)
+	// A tiny crossover forces the shared k-d tree master (and its clones)
+	// even at this size, maximizing contention on the lazy build.
+	eng, err := NewEngine(tbl, WithIndexCrossover(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{Algorithm: Merge, K: 3, T: 0.08, SkipAssessment: true},
+		{Algorithm: TClosenessFirst, K: 2, T: 0.12, SkipAssessment: true},
+	}
+	want := make([]*Result, len(specs))
+	for i, spec := range specs {
+		w, err := Anonymize(tbl, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs)*rounds)
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec Spec) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := eng.Run(context.Background(), spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got.Clusters, want[i].Clusters) || got.MaxEMD != want[i].MaxEMD {
+					errs <- errors.New(spec.Algorithm.String() + ": concurrent run diverged from cold reference")
+					return
+				}
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineSweepFaster is the headline acceptance property: a 6-point
+// (k, t) sweep at n=1500 through one Engine beats six cold Anonymize calls
+// by at least 1.5x end-to-end, with bit-identical partitions. Timing is
+// taken as the best of three attempts to shed scheduler noise.
+func TestEngineSweepFaster(t *testing.T) {
+	tbl := synth.PatientDischarge(1500, synth.DefaultSeed)
+	ks := []int{2, 3, 5}
+	ts := []float64{0.05, 0.13}
+	specs := make([]Spec, 0, 6)
+	for _, k := range ks {
+		for _, tl := range ts {
+			specs = append(specs, Spec{Algorithm: TClosenessFirst, K: k, T: tl, SkipAssessment: true})
+		}
+	}
+	ctx := context.Background()
+
+	// Correctness first: one engine sweep against six cold calls.
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		got, err := eng.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Anonymize(tbl, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, spec.Algorithm.String(), got, want)
+	}
+
+	if raceEnabled {
+		t.Skip("timing assertion is meaningless under the race detector")
+	}
+	sweepEngine := func() time.Duration {
+		start := time.Now()
+		e, err := NewEngine(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range specs {
+			if _, err := e.Run(ctx, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	sweepCold := func() time.Duration {
+		start := time.Now()
+		for _, spec := range specs {
+			if _, err := Anonymize(tbl, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// Measured headroom is ~2x idle and ~1.7x under heavy background load;
+	// best-of-5 keeps the 1.5x gate safe against scheduler noise.
+	var bestRatio float64
+	for attempt := 0; attempt < 5; attempt++ {
+		cold := sweepCold()
+		engine := sweepEngine()
+		ratio := cold.Seconds() / engine.Seconds()
+		t.Logf("attempt %d: cold=%v engine=%v (%.2fx)", attempt, cold, engine, ratio)
+		if ratio > bestRatio {
+			bestRatio = ratio
+		}
+		if bestRatio >= 1.5 {
+			return
+		}
+	}
+	t.Fatalf("engine sweep only %.2fx faster than cold calls, want >= 1.5x", bestRatio)
+}
+
+// TestEngineProgress: the WithProgress hook receives events from all three
+// paper algorithms, tagged with the right algorithm.
+func TestEngineProgress(t *testing.T) {
+	tbl := synth.Census(300, synth.FedTax, 5)
+	var mu sync.Mutex
+	seen := make(map[Algorithm]map[string]int)
+	eng, err := NewEngine(tbl, WithProgress(func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[p.Algorithm] == nil {
+			seen[p.Algorithm] = make(map[string]int)
+		}
+		seen[p.Algorithm][p.Phase]++
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst, TClosenessFirst} {
+		if _, err := eng.Run(ctx, Spec{Algorithm: alg, K: 3, T: 0.05, SkipAssessment: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen[Merge]["merge"] == 0 {
+		t.Error("no merge progress from Algorithm 1")
+	}
+	if seen[KAnonymityFirst]["partition"] == 0 {
+		t.Error("no partition progress from Algorithm 2")
+	}
+	if seen[TClosenessFirst]["partition"] == 0 {
+		t.Error("no partition progress from Algorithm 3")
+	}
+}
+
+// TestEngineTuningOptions: engine-scoped tuning changes the execution
+// strategy, never the result.
+func TestEngineTuningOptions(t *testing.T) {
+	tbl := synth.Census(400, synth.Fica, 7)
+	spec := Spec{Algorithm: Merge, K: 3, T: 0.1, SkipAssessment: true}
+	want, err := Anonymize(tbl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		{WithWorkers(1)},
+		{WithWorkers(3)},
+		{WithIndexCrossover(16)},
+		{WithWorkers(2), WithIndexCrossover(64)},
+	} {
+		eng, err := NewEngine(tbl, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "tuned engine", got, want)
+	}
+}
+
+// TestEngineCopiesTable: mutating the caller's table after NewEngine must
+// not leak into engine runs.
+func TestEngineCopiesTable(t *testing.T) {
+	tbl := synth.Uniform(80, 2, 3)
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Algorithm: TClosenessFirst, K: 2, T: 0.2, SkipAssessment: true}
+	want, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.SetValue(0, 0, 12345)
+	got, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "post-mutation run", got, want)
+}
+
+// TestAlgorithmTextRoundTrip: MarshalText emits the canonical name and
+// UnmarshalText (via ParseAlgorithm) round-trips it for every algorithm;
+// unknown values fail in both directions.
+func TestAlgorithmTextRoundTrip(t *testing.T) {
+	algs := []Algorithm{Merge, KAnonymityFirst, TClosenessFirst, MondrianBaseline, SABREBaseline, IncognitoBaseline}
+	for _, alg := range algs {
+		text, err := alg.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if string(text) != alg.String() {
+			t.Errorf("%v: MarshalText = %q, want %q", alg, text, alg.String())
+		}
+		var back Algorithm
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%v: UnmarshalText(%q): %v", alg, text, err)
+		}
+		if back != alg {
+			t.Errorf("round-trip %v -> %q -> %v", alg, text, back)
+		}
+	}
+	if _, err := Algorithm(99).MarshalText(); err == nil {
+		t.Error("unknown algorithm should not marshal")
+	}
+	var a Algorithm
+	if err := a.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("unknown name should not unmarshal")
+	}
+}
+
+// TestLegacyMondrianLooseT: the Mondrian baseline historically accepts any
+// t (values above the EMD ceiling just leave splits unconstrained); the
+// engine's up-front validation must not tighten that.
+func TestLegacyMondrianLooseT(t *testing.T) {
+	tbl := synth.Uniform(60, 2, 9)
+	if _, err := Anonymize(tbl, Config{Algorithm: MondrianBaseline, K: 2, T: 1.5}); err != nil {
+		t.Fatalf("legacy Mondrian with T>1 should still work: %v", err)
+	}
+	eng, err := NewEngine(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), Spec{Algorithm: MondrianBaseline, K: 2, T: 1.5}); err != nil {
+		t.Fatalf("engine Mondrian with T>1 should work: %v", err)
+	}
+}
+
+func iota0(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

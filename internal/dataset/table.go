@@ -276,35 +276,81 @@ func (t *Table) MatrixFor(cols []int) [][]float64 {
 }
 
 func (t *Table) matrixFor(cols []int) [][]float64 {
-	mins := make([]float64, len(cols))
-	ranges := make([]float64, len(cols))
-	// scale halves the values before normalizing when hi-lo would overflow
-	// float64 (possible for columns spanning nearly the full float range).
-	scale := make([]float64, len(cols))
-	for j, c := range cols {
-		lo, hi := minMax(t.cols[c][:t.rows])
-		scale[j] = 1
-		if math.IsInf(hi-lo, 0) {
-			scale[j] = 0.5
-			lo, hi = lo/2, hi/2
-		}
-		mins[j] = lo
-		if hi > lo {
-			ranges[j] = hi - lo
-		} else {
-			ranges[j] = 0
+	return t.normalizeRows(cols, 0, t.rows, t.normParams(cols))
+}
+
+// NormParams is the per-column min-max normalization frame of a matrix
+// extraction: the post-scale minimum, the range (0 for constant columns),
+// and the overflow-guard scale of each column. Two extractions with equal
+// params produce bit-identical normalized rows for shared records, which is
+// what lets an epoch append skip renormalizing the existing rows.
+type NormParams struct {
+	Mins, Ranges, Scales []float64
+}
+
+// Equal reports whether o describes the same normalization frame.
+func (p NormParams) Equal(o NormParams) bool {
+	if len(p.Mins) != len(o.Mins) {
+		return false
+	}
+	for j := range p.Mins {
+		if p.Mins[j] != o.Mins[j] || p.Ranges[j] != o.Ranges[j] || p.Scales[j] != o.Scales[j] {
+			return false
 		}
 	}
-	m := make([][]float64, t.rows)
-	flat := make([]float64, t.rows*len(cols))
-	for r := 0; r < t.rows; r++ {
-		row := flat[r*len(cols) : (r+1)*len(cols)]
+	return true
+}
+
+// QINormParams returns the normalization frame QIMatrix uses.
+func (t *Table) QINormParams() NormParams {
+	return t.normParams(t.schema.QuasiIdentifiers())
+}
+
+func (t *Table) normParams(cols []int) NormParams {
+	p := NormParams{
+		Mins:   make([]float64, len(cols)),
+		Ranges: make([]float64, len(cols)),
+		Scales: make([]float64, len(cols)),
+	}
+	for j, c := range cols {
+		lo, hi := minMax(t.cols[c][:t.rows])
+		// scale halves the values before normalizing when hi-lo would
+		// overflow float64 (possible for columns spanning nearly the full
+		// float range).
+		p.Scales[j] = 1
+		if math.IsInf(hi-lo, 0) {
+			p.Scales[j] = 0.5
+			lo, hi = lo/2, hi/2
+		}
+		p.Mins[j] = lo
+		if hi > lo {
+			p.Ranges[j] = hi - lo
+		} else {
+			p.Ranges[j] = 0
+		}
+	}
+	return p
+}
+
+// QIMatrixTail returns the normalized quasi-identifier rows [from, Len())
+// under an explicit normalization frame — the epoch-append path, which
+// reuses the frame of the prepared matrix when no appended value widened a
+// column's range.
+func (t *Table) QIMatrixTail(from int, p NormParams) [][]float64 {
+	return t.normalizeRows(t.schema.QuasiIdentifiers(), from, t.rows, p)
+}
+
+func (t *Table) normalizeRows(cols []int, lo, hi int, p NormParams) [][]float64 {
+	m := make([][]float64, hi-lo)
+	flat := make([]float64, (hi-lo)*len(cols))
+	for r := lo; r < hi; r++ {
+		row := flat[(r-lo)*len(cols) : (r-lo+1)*len(cols)]
 		for j, c := range cols {
-			if ranges[j] > 0 {
-				row[j] = (t.cols[c][r]*scale[j] - mins[j]) / ranges[j]
+			if p.Ranges[j] > 0 {
+				row[j] = (t.cols[c][r]*p.Scales[j] - p.Mins[j]) / p.Ranges[j]
 			}
 		}
-		m[r] = row
+		m[r-lo] = row
 	}
 	return m
 }

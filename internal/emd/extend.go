@@ -1,0 +1,83 @@
+package emd
+
+import "sort"
+
+// Extend returns the Space over the original records followed by newValues —
+// bit-identical to NewSpace (or NewNominalSpace) over the concatenated value
+// slice, but built incrementally: the old sorted distinct domain is merged
+// with the sorted distinct values of the tail, old record bins are remapped
+// through the merge instead of re-searched, and only the O(m) prefix
+// geometry is recomputed. Cost is O(new·log new + n + m) against the cold
+// build's O((n+new)·log(n+new)). The receiver is immutable and remains
+// valid; this is the epoch step behind streaming ingest.
+func (s *Space) Extend(newValues []float64) (*Space, error) {
+	if len(newValues) == 0 {
+		return s, nil
+	}
+	tail := append([]float64(nil), newValues...)
+	sort.Float64s(tail)
+	tailUniq := tail[:0]
+	for i, v := range tail {
+		if i == 0 || v != tailUniq[len(tailUniq)-1] {
+			tailUniq = append(tailUniq, v)
+		}
+	}
+	// Merge the two sorted distinct domains; binMap sends each old bin to
+	// its index in the merged domain.
+	merged := make([]float64, 0, s.m+len(tailUniq))
+	binMap := make([]int, s.m)
+	i, j := 0, 0
+	for i < s.m && j < len(tailUniq) {
+		switch {
+		case s.values[i] < tailUniq[j]:
+			binMap[i] = len(merged)
+			merged = append(merged, s.values[i])
+			i++
+		case s.values[i] > tailUniq[j]:
+			merged = append(merged, tailUniq[j])
+			j++
+		default:
+			binMap[i] = len(merged)
+			merged = append(merged, s.values[i])
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < s.m; i++ {
+		binMap[i] = len(merged)
+		merged = append(merged, s.values[i])
+	}
+	merged = append(merged, tailUniq[j:]...)
+
+	n2, m2 := s.n+len(newValues), len(merged)
+	out := &Space{
+		n:       n2,
+		m:       m2,
+		values:  merged,
+		q:       make([]float64, m2),
+		binOf:   make([]int, n2),
+		qCounts: make([]int, m2),
+		qcPref:  make([]int64, m2),
+		sqcPref: make([]int64, m2),
+		nominal: s.nominal,
+	}
+	for rec, b := range s.binOf {
+		nb := binMap[b]
+		out.binOf[rec] = nb
+		out.qCounts[nb]++
+	}
+	for rec, v := range newValues {
+		b := sort.SearchFloat64s(merged, v)
+		out.binOf[s.n+rec] = b
+		out.qCounts[b]++
+	}
+	var qc, sqc int64
+	for b, c := range out.qCounts {
+		out.q[b] = float64(c) / float64(n2)
+		qc += int64(c)
+		sqc += qc
+		out.qcPref[b] = qc
+		out.sqcPref[b] = sqc
+	}
+	out.halfCross = out.levelCross(1, 2)
+	return out, nil
+}

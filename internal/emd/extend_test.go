@@ -1,0 +1,127 @@
+package emd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// assertSpacesEqual checks every observable of two spaces over the same
+// record set: domain, per-record bins, dataset masses, full EMD queries on
+// random subsets, and the closed-form two-record numerator.
+func assertSpacesEqual(t *testing.T, label string, got, want *Space, rng *rand.Rand) {
+	t.Helper()
+	if got.N() != want.N() || got.Bins() != want.Bins() || got.Nominal() != want.Nominal() {
+		t.Fatalf("%s: shape (n=%d m=%d nom=%v) want (n=%d m=%d nom=%v)", label,
+			got.N(), got.Bins(), got.Nominal(), want.N(), want.Bins(), want.Nominal())
+	}
+	for b := 0; b < want.Bins(); b++ {
+		if got.Value(b) != want.Value(b) {
+			t.Fatalf("%s: Value(%d) = %v want %v", label, b, got.Value(b), want.Value(b))
+		}
+		if got.DatasetMass(b) != want.DatasetMass(b) {
+			t.Fatalf("%s: DatasetMass(%d) = %v want %v", label, b, got.DatasetMass(b), want.DatasetMass(b))
+		}
+	}
+	for rec := 0; rec < want.N(); rec++ {
+		if got.Bin(rec) != want.Bin(rec) {
+			t.Fatalf("%s: Bin(%d) = %d want %d", label, rec, got.Bin(rec), want.Bin(rec))
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		size := 1 + rng.Intn(8)
+		rows := make([]int, size)
+		for i := range rows {
+			rows[i] = rng.Intn(want.N())
+		}
+		if g, w := got.EMDOf(rows), want.EMDOf(rows); g != w {
+			t.Fatalf("%s: EMDOf(%v) = %v want %v", label, rows, g, w)
+		}
+	}
+	if !want.Nominal() {
+		for trial := 0; trial < 30; trial++ {
+			a, b := rng.Intn(want.Bins()), rng.Intn(want.Bins())
+			if g, w := got.TwoRecordAbsDev(a, b), want.TwoRecordAbsDev(a, b); g != w {
+				t.Fatalf("%s: TwoRecordAbsDev(%d,%d) = %d want %d", label, a, b, g, w)
+			}
+		}
+	}
+}
+
+// TestSpaceExtendMatchesCold: Extend over any tail is bit-identical to a
+// cold NewSpace/NewNominalSpace over the concatenated values, including
+// tails that introduce new bins below, between, and above the old domain.
+func TestSpaceExtendMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nominal := trial%2 == 1
+		n := 5 + rng.Intn(60)
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = float64(rng.Intn(20)) // dense duplicates
+		}
+		tailLen := 1 + rng.Intn(25)
+		tail := make([]float64, tailLen)
+		for i := range tail {
+			// Values from -5 to 30: below, inside, and above the old domain.
+			tail[i] = float64(rng.Intn(36) - 5)
+		}
+		newSpace := NewSpace
+		if nominal {
+			newSpace = NewNominalSpace
+		}
+		old, err := newSpace(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := old.Extend(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := newSpace(append(append([]float64(nil), base...), tail...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSpacesEqual(t, "extend", got, want, rng)
+	}
+}
+
+// TestSpaceExtendEmptyTail: an empty tail is an identity (the receiver is
+// immutable, so returning it is safe).
+func TestSpaceExtendEmptyTail(t *testing.T) {
+	s, err := NewSpace([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Extend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Error("empty extend should return the receiver")
+	}
+}
+
+// TestSpaceExtendChained: repeated epoch extensions equal one cold build —
+// the streaming-ingest access pattern.
+func TestSpaceExtendChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	all := make([]float64, 90)
+	for i := range all {
+		all[i] = float64(rng.Intn(25))
+	}
+	s, err := NewSpace(all[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo, hi := 30, 50; hi <= 90; lo, hi = hi, hi+20 {
+		s, err = s.Extend(all[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := NewSpace(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSpacesEqual(t, "chained", s, want, rng)
+}

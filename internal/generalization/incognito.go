@@ -1,6 +1,7 @@
 package generalization
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -88,6 +89,23 @@ func buildHierarchy(t *dataset.Table, col, maxLevels int) *hierarchy {
 // one equivalence class) fails — impossible, since a single class has EMD
 // 0 and size n — an error is returned only for invalid parameters.
 func IncognitoT(t *dataset.Table, k int, tLevel float64, maxLevels int) (*GenResult, error) {
+	return IncognitoTCtx(context.Background(), t, k, tLevel, maxLevels)
+}
+
+// IncognitoTCtx is IncognitoT with cooperative cancellation, checked once
+// per evaluated lattice node.
+func IncognitoTCtx(ctx context.Context, t *dataset.Table, k int, tLevel float64, maxLevels int) (*GenResult, error) {
+	return IncognitoTPrepared(ctx, t, k, tLevel, maxLevels, nil)
+}
+
+// IncognitoTPrepared is IncognitoTCtx with caller-supplied ordered-distance
+// EMD spaces, one per confidential attribute in schema order — the engine
+// path, which prepares them once per table instead of once per run. nil
+// spaces are built here.
+func IncognitoTPrepared(ctx context.Context, t *dataset.Table, k int, tLevel float64, maxLevels int, spaces []*emd.Space) (*GenResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if t == nil || t.Len() == 0 {
 		return nil, micro.ErrEmpty
 	}
@@ -117,13 +135,15 @@ func IncognitoT(t *dataset.Table, k int, tLevel float64, maxLevels int) (*GenRes
 	for i, c := range qis {
 		hier[i] = buildHierarchy(t, c, maxLevels)
 	}
-	spaces := make([]*emd.Space, 0, 1)
-	for _, c := range t.Schema().Confidentials() {
-		s, err := emd.NewSpace(t.ColumnView(c))
-		if err != nil {
-			return nil, err
+	if spaces == nil {
+		spaces = make([]*emd.Space, 0, 1)
+		for _, c := range t.Schema().Confidentials() {
+			s, err := emd.NewSpace(t.ColumnView(c))
+			if err != nil {
+				return nil, err
+			}
+			spaces = append(spaces, s)
 		}
-		spaces = append(spaces, s)
 	}
 
 	// Enumerate lattice nodes in ascending total height so the first
@@ -163,6 +183,9 @@ func IncognitoT(t *dataset.Table, k int, tLevel float64, maxLevels int) (*GenRes
 			}
 			anyLive = true
 			checked++
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			clusters, maxEMD, ok := evaluate(t, hier, spaces, levels, k, tLevel)
 			if !ok {
 				continue

@@ -15,6 +15,7 @@
 package generalization
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -30,7 +31,7 @@ var ErrBadK = errors.New("generalization: k must be at least 1")
 // least k records using median-cut multidimensional partitioning on the
 // quasi-identifiers.
 func Mondrian(t *dataset.Table, k int) ([]micro.Cluster, error) {
-	return mondrian(t, k, nil, 0)
+	return mondrian(context.Background(), t, k, nil, 0)
 }
 
 // MondrianT partitions like Mondrian but additionally enforces t-closeness:
@@ -39,24 +40,44 @@ func Mondrian(t *dataset.Table, k int) ([]micro.Cluster, error) {
 // trivially satisfies t-closeness (EMD 0), so the result always carries the
 // guarantee — at the cost of coarse partitions for small t.
 func MondrianT(t *dataset.Table, k int, tLevel float64) ([]micro.Cluster, error) {
-	confs := t.Schema().Confidentials()
-	spaces := make([]*emd.Space, len(confs))
-	for i, c := range confs {
-		s, err := emd.NewSpace(t.ColumnView(c))
-		if err != nil {
-			return nil, err
-		}
-		spaces[i] = s
-	}
-	return mondrian(t, k, spaces, tLevel)
+	return MondrianTCtx(context.Background(), t, k, tLevel)
 }
 
-func mondrian(t *dataset.Table, k int, spaces []*emd.Space, tLevel float64) ([]micro.Cluster, error) {
+// MondrianTCtx is MondrianT with cooperative cancellation, checked once per
+// recursive split.
+func MondrianTCtx(ctx context.Context, t *dataset.Table, k int, tLevel float64) ([]micro.Cluster, error) {
+	return MondrianTPrepared(ctx, t, k, tLevel, nil)
+}
+
+// MondrianTPrepared is MondrianTCtx with caller-supplied ordered-distance
+// EMD spaces, one per confidential attribute in schema order — the engine
+// path, which prepares them once per table instead of once per run. nil
+// spaces are built here; supplying nominal spaces is a caller bug (this
+// baseline's t check is defined over the ordered distance).
+func MondrianTPrepared(ctx context.Context, t *dataset.Table, k int, tLevel float64, spaces []*emd.Space) ([]micro.Cluster, error) {
+	if spaces == nil {
+		confs := t.Schema().Confidentials()
+		spaces = make([]*emd.Space, len(confs))
+		for i, c := range confs {
+			s, err := emd.NewSpace(t.ColumnView(c))
+			if err != nil {
+				return nil, err
+			}
+			spaces[i] = s
+		}
+	}
+	return mondrian(ctx, t, k, spaces, tLevel)
+}
+
+func mondrian(ctx context.Context, t *dataset.Table, k int, spaces []*emd.Space, tLevel float64) ([]micro.Cluster, error) {
 	if k < 1 {
 		return nil, ErrBadK
 	}
 	if t.Len() == 0 {
 		return nil, micro.ErrEmpty
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	qis := t.Schema().QuasiIdentifiers()
 	cols := make([][]float64, len(qis))
@@ -75,8 +96,16 @@ func mondrian(t *dataset.Table, k int, spaces []*emd.Space, tLevel float64) ([]m
 		all[i] = i
 	}
 	var clusters []micro.Cluster
+	var splitErr error
 	var split func(rows []int)
 	split = func(rows []int) {
+		if splitErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			splitErr = err
+			return
+		}
 		if len(rows) >= 2*k {
 			if left, right, ok := bestCut(cols, ranges, rows, k); ok &&
 				(spaces == nil || (within(spaces, left, tLevel) && within(spaces, right, tLevel))) {
@@ -88,6 +117,9 @@ func mondrian(t *dataset.Table, k int, spaces []*emd.Space, tLevel float64) ([]m
 		clusters = append(clusters, micro.Cluster{Rows: rows})
 	}
 	split(all)
+	if splitErr != nil {
+		return nil, splitErr
+	}
 	return clusters, nil
 }
 

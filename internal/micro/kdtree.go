@@ -177,7 +177,7 @@ func NewKDTree(m *Matrix, rows []int) *KDTree {
 	for i := 0; i < n; i++ {
 		t.rad2[i] = Dist2(t.pivot, t.pts[i*t.dim:(i+1)*t.dim])
 	}
-	workers := scanWorkerBudget()
+	workers := m.workerBudget()
 	var tokens chan struct{}
 	if workers > 1 && n >= kdParallelMin {
 		tokens = make(chan struct{}, workers-1)
@@ -302,6 +302,19 @@ func (s kdSegment) Swap(i, j int) {
 	for k := range pa {
 		pa[k], pb[k] = pb[k], pa[k]
 	}
+}
+
+// Clone returns an independent copy of the tree: deletions on the clone do
+// not affect the original (or other clones). Only the mutable liveness
+// state — per-node alive counts and the alive bits — is copied; the
+// geometry, layout, bounds and rank arrays are immutable after the build
+// and shared, so a clone costs O(n) memory copies against the
+// O(n·log n) sort-dominated build.
+func (t *KDTree) Clone() *KDTree {
+	c := *t
+	c.nodes = append([]kdNode(nil), t.nodes...)
+	c.alive = append([]bool(nil), t.alive...)
+	return &c
 }
 
 // Len returns the number of rows still alive in the tree.

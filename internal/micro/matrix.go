@@ -10,11 +10,46 @@ import (
 // one contiguous backing array, stride-indexed for cache locality. The hot
 // distance scans of the partition heuristics run over a Matrix instead of a
 // [][]float64 so that walking consecutive rows touches consecutive memory.
+//
+// A Matrix is immutable after construction except for SetTuning and
+// EnableIndexCache, which must be called before the matrix is shared;
+// concurrent queries (including Searchers over it) are then safe.
 type Matrix struct {
 	data []float64
 	n    int
 	dim  int
+	// tun holds engine-scoped tuning overrides; zero fields fall back to
+	// the deprecated package-level defaults, so legacy callers and tests
+	// that set the globals keep their behavior.
+	tun Tuning
+	// cache, when enabled, shares one lazily built k-d tree across every
+	// Searcher over the full ascending row set (see IndexCache).
+	cache *IndexCache
 }
+
+// Tuning carries per-Matrix overrides of the package-level performance
+// knobs. The zero value defers every decision to the deprecated package
+// variables (MaxScanWorkers, IndexCrossover), so an untuned Matrix behaves
+// exactly as before; values < 1 also fall back to the defaults.
+//
+// Tuning a Matrix instead of writing the globals is what makes concurrent
+// anonymization runs race-free: the globals are process-wide mutable state,
+// while a Matrix's tuning is fixed before the matrix is shared.
+type Tuning struct {
+	// Workers caps the goroutine fan-out of parallel distance scans and of
+	// the k-d tree build over this matrix.
+	Workers int
+	// IndexCrossover is the candidate-set size at or above which Searchers
+	// over this matrix build the k-d tree index.
+	IndexCrossover int
+}
+
+// SetTuning installs engine-scoped tuning for this matrix. It must be
+// called before the matrix is shared across goroutines.
+func (m *Matrix) SetTuning(t Tuning) { m.tun = t }
+
+// TuningOf returns the matrix's tuning overrides.
+func (m *Matrix) TuningOf() Tuning { return m.tun }
 
 // NewMatrix copies points into a flat row-major Matrix. All rows must have
 // the same length.
@@ -29,6 +64,32 @@ func NewMatrix(points [][]float64) *Matrix {
 		copy(m.data[i*dim:(i+1)*dim], p)
 	}
 	return m
+}
+
+// AppendRowsCopy returns a new Matrix holding this matrix's rows followed
+// by tail, leaving the receiver untouched (epoch-style ingest: in-flight
+// queries over the old matrix stay valid). Tuning carries over; an enabled
+// index cache carries over as a fresh, unbuilt cache, since the master tree
+// of the old row set is invalid for the extended one.
+func (m *Matrix) AppendRowsCopy(tail [][]float64) *Matrix {
+	dim := m.dim
+	if dim == 0 && len(tail) > 0 {
+		dim = len(tail[0])
+	}
+	out := &Matrix{
+		data: make([]float64, (m.n+len(tail))*dim),
+		n:    m.n + len(tail),
+		dim:  dim,
+		tun:  m.tun,
+	}
+	copy(out.data, m.data)
+	for i, p := range tail {
+		copy(out.data[(m.n+i)*dim:(m.n+i+1)*dim], p)
+	}
+	if m.cache != nil {
+		out.cache = &IndexCache{}
+	}
+	return out
 }
 
 // N returns the number of rows.
@@ -60,23 +121,34 @@ func (m *Matrix) RowDist2(i int, p []float64) float64 {
 const parallelScanMin = 8192
 
 // MaxScanWorkers caps the goroutine fan-out of the parallel distance scans
-// and of the k-d tree build. It defaults to runtime.GOMAXPROCS(0) — the old
-// hardcoded cap of 8 silently throttled benchmark machines with more cores.
-// Results are bit-identical for any value (each worker owns a disjoint,
-// deterministic chunk); set it to 1 to force serial execution.
+// and of the k-d tree build for matrices without their own tuning. It
+// defaults to runtime.GOMAXPROCS(0) — the old hardcoded cap of 8 silently
+// throttled benchmark machines with more cores. Results are bit-identical
+// for any value (each worker owns a disjoint, deterministic chunk); set it
+// to 1 to force serial execution.
+//
+// Deprecated: writing this global from library code races with concurrent
+// anonymization runs. Prefer per-matrix configuration via Matrix.SetTuning
+// (engine callers: the WithWorkers option); the variable remains as the
+// process-wide default.
 var MaxScanWorkers = runtime.GOMAXPROCS(0)
 
-// scanWorkerBudget returns the sanitized MaxScanWorkers value.
-func scanWorkerBudget() int {
-	if MaxScanWorkers < 1 {
+// workerBudget returns the sanitized worker cap for this matrix: its own
+// tuning when set, the package default otherwise.
+func (m *Matrix) workerBudget() int {
+	w := m.tun.Workers
+	if w < 1 {
+		w = MaxScanWorkers
+	}
+	if w < 1 {
 		return 1
 	}
-	return MaxScanWorkers
+	return w
 }
 
 // scanWorkers returns the fan-out for a parallel scan over nRows.
-func scanWorkers(nRows int) int {
-	w := scanWorkerBudget()
+func (m *Matrix) scanWorkers(nRows int) int {
+	w := m.workerBudget()
 	if nRows < parallelScanMin || w < 2 {
 		return 1
 	}
@@ -96,7 +168,7 @@ func chunkBounds(n, w, i int) (lo, hi int) {
 // for the ascending row sets used by the partitioners is the lowest index —
 // matching the serial scan exactly, so parallel execution is deterministic.
 func (m *Matrix) Farthest(rows []int, p []float64) int {
-	w := scanWorkers(len(rows))
+	w := m.scanWorkers(len(rows))
 	if w == 1 {
 		best, bestD := -1, -1.0
 		for _, r := range rows {
@@ -136,7 +208,7 @@ func (m *Matrix) Farthest(rows []int, p []float64) int {
 // Nearest returns the row among rows whose point is nearest to p, breaking
 // ties toward the earliest position in rows.
 func (m *Matrix) Nearest(rows []int, p []float64) int {
-	w := scanWorkers(len(rows))
+	w := m.scanWorkers(len(rows))
 	if w == 1 {
 		best, bestD := -1, -1.0
 		for _, r := range rows {
@@ -192,7 +264,7 @@ func distRowLess(a, b distRow) bool {
 // out across goroutines for large candidate sets (each chunk writes a
 // disjoint range, so the result is deterministic).
 func (m *Matrix) fillDists(ds []distRow, rows []int, p []float64) {
-	w := scanWorkers(len(rows))
+	w := m.scanWorkers(len(rows))
 	if w == 1 {
 		for i, r := range rows {
 			ds[i] = distRow{d: m.RowDist2(r, p), row: r}

@@ -1,5 +1,7 @@
 package micro
 
+import "context"
+
 // MDAV (Maximum Distance to AVerage) is the fixed-size multivariate
 // microaggregation heuristic of Domingo-Ferrer and Mateo-Sanz used as the
 // baseline partitioner in the paper (cost O(n^2/k)).
@@ -27,12 +29,22 @@ func MDAV(points [][]float64, k int) ([]Cluster, error) {
 
 // MDAVMatrix is MDAV over an already-flattened point matrix.
 func MDAVMatrix(m *Matrix, k int) ([]Cluster, error) {
+	return MDAVMatrixCtx(context.Background(), m, k)
+}
+
+// MDAVMatrixCtx is MDAVMatrix with cooperative cancellation, checked once
+// per cluster-extraction round (each round costs O(n·dim) at most), so an
+// abandoned run stops within one round and returns ctx.Err().
+func MDAVMatrixCtx(ctx context.Context, m *Matrix, k int) ([]Cluster, error) {
 	n := m.N()
 	if n == 0 {
 		return nil, ErrEmpty
 	}
 	if k < 1 {
 		return nil, ErrBadK
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	remaining := make([]int, n)
 	for i := range remaining {
@@ -51,6 +63,9 @@ func MDAVMatrix(m *Matrix, k int) ([]Cluster, error) {
 	}
 	var clusters []Cluster
 	for len(remaining) >= 3*k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cluster1 := extract(rc.CentroidOf(remaining))
 		// The paper seeds the second cluster at the record farthest from the
 		// first seed, which is cluster1[0] (distance 0 to itself).

@@ -1,6 +1,9 @@
 package micro
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Searcher routes the partition loops' hot neighbor queries — Farthest,
 // Nearest, KNearest, and the nearest-first candidate Stream — either through
@@ -26,6 +29,10 @@ type Searcher struct {
 	// build and is replayed into the fresh tree.
 	buildRows []int
 	pending   []int
+	// cache, when non-nil, supplies the tree as a clone of a shared master
+	// built once per Matrix row-set epoch (see IndexCache) instead of a
+	// fresh per-Searcher build.
+	cache *IndexCache
 
 	// Reusable scratch for Stream: only one stream may be live at a time.
 	stream      Stream
@@ -39,30 +46,110 @@ type Searcher struct {
 }
 
 // IndexCrossover is the candidate-set size at or above which NewSearcher
-// builds the k-d tree index. Below it the linear scans win: they are a
-// single cache-friendly pass with no per-query tree overhead, and the whole
-// partition run stays comfortably inside the quadratic regime. The value is
-// a package variable so benchmarks can tune it and tests can force either
-// path; both paths produce identical partitions.
+// builds the k-d tree index for matrices without their own tuning. Below it
+// the linear scans win: they are a single cache-friendly pass with no
+// per-query tree overhead, and the whole partition run stays comfortably
+// inside the quadratic regime. The value is a package variable so
+// benchmarks can tune it and tests can force either path; both paths
+// produce identical partitions.
+//
+// Deprecated: writing this global from library code races with concurrent
+// anonymization runs. Prefer per-matrix configuration via Matrix.SetTuning
+// (engine callers: the WithIndexCrossover option); the variable remains as
+// the process-wide default.
 var IndexCrossover = 2048
 
+// indexCrossover returns the effective crossover for this matrix.
+func (m *Matrix) indexCrossover() int {
+	if c := m.tun.IndexCrossover; c >= 1 {
+		return c
+	}
+	return IndexCrossover
+}
+
+// IndexCache shares one lazily built k-d tree master across Searchers. The
+// expensive part of a tree — geometry, layout, bounds — is immutable after
+// the build; only liveness (alive bits, subtree counts) mutates under
+// deletion. The cache therefore builds the master on first demand and hands
+// every Searcher an O(n) clone sharing the immutable arrays, so a sweep of
+// anonymization runs over one prepared table pays the O(n·log n) build once
+// instead of once per run. Concurrent acquisitions are serialized; clones
+// are independent, so concurrent runs never observe each other's deletions.
+type IndexCache struct {
+	mu    sync.Mutex
+	tree  *KDTree
+	built bool
+}
+
+// acquire returns an independent clone of the master tree over rows,
+// building the master on first use. A degenerate build (no tree) is
+// memoized as nil.
+func (c *IndexCache) acquire(m *Matrix, rows []int) *KDTree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.built {
+		c.tree = NewKDTree(m, rows)
+		c.built = true
+	}
+	if c.tree == nil {
+		return nil
+	}
+	return c.tree.Clone()
+}
+
+// IndexCacheEnabled reports whether EnableIndexCache was called.
+func (m *Matrix) IndexCacheEnabled() bool { return m.cache != nil }
+
+// EnableIndexCache attaches a shared-master index cache to the matrix:
+// Searchers over the full ascending row set then clone one lazily built
+// master tree instead of each building their own. Like SetTuning, it must
+// be called before the matrix is shared across goroutines.
+func (m *Matrix) EnableIndexCache() {
+	if m.cache == nil {
+		m.cache = &IndexCache{}
+	}
+}
+
+// fullAscending reports whether rows is exactly 0..n-1 — the only candidate
+// set the shared master tree is valid for, since the build order fixes the
+// tie-breaking rank of every query.
+func fullAscending(rows []int, n int) bool {
+	if len(rows) != n {
+		return false
+	}
+	for i, r := range rows {
+		if r != i {
+			return false
+		}
+	}
+	return true
+}
+
 // NewSearcher returns a Searcher over the given candidate rows, building
-// the k-d tree when the candidate set is at least IndexCrossover rows. The
-// rows slice fixes the tie-breaking rank order (see KDTree).
+// the k-d tree when the candidate set is at least the matrix's index
+// crossover. The rows slice fixes the tie-breaking rank order (see KDTree).
 func (m *Matrix) NewSearcher(rows []int) *Searcher {
 	s := &Searcher{m: m}
-	if len(rows) >= IndexCrossover {
+	if len(rows) >= m.indexCrossover() {
 		s.buildRows = append([]int(nil), rows...)
+		if m.cache != nil && fullAscending(rows, m.n) {
+			s.cache = m.cache
+		}
 	}
 	return s
 }
 
-// ensureTree builds the k-d tree on first demand and replays removals that
+// ensureTree builds the k-d tree on first demand — from the shared master
+// cache when one applies, fresh otherwise — and replays removals that
 // arrived before the build. A build that yields no tree (degenerate
 // zero-dimension matrix) permanently reverts the Searcher to linear scans.
 func (s *Searcher) ensureTree() *KDTree {
 	if s.tree == nil && s.buildRows != nil {
-		s.tree = NewKDTree(s.m, s.buildRows)
+		if s.cache != nil {
+			s.tree = s.cache.acquire(s.m, s.buildRows)
+		} else {
+			s.tree = NewKDTree(s.m, s.buildRows)
+		}
 		if s.tree != nil {
 			for _, r := range s.pending {
 				s.tree.Delete(r)

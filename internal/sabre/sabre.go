@@ -28,6 +28,7 @@
 package sabre
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -59,10 +60,29 @@ type bucket struct {
 
 func (b bucket) size() int { return b.hi - b.lo }
 
+// Env carries prepared substrate an engine caller can share with a SABRE
+// run so the baseline stops rebuilding per-table state per call. Every
+// field is optional (nil means build it here) and read-only.
+type Env struct {
+	// Mat is the normalized quasi-identifier matrix (dataset.Table
+	// .QIMatrix flattened); it must describe exactly the table's records.
+	Mat *micro.Matrix
+	// Order is the record order by (first confidential value, row) — the
+	// ranking the buckets slice.
+	Order []int
+}
+
 // Anonymize partitions the table into k-anonymous equivalence classes aimed
 // at t-closeness level tLevel using SABRE-style bucketization and
 // redistribution.
 func Anonymize(t *dataset.Table, k int, tLevel float64) (*Result, error) {
+	return AnonymizeCtx(context.Background(), t, k, tLevel, nil)
+}
+
+// AnonymizeCtx is Anonymize with cooperative cancellation — checked once
+// per equivalence class, so an abandoned run stops within one class build —
+// and an optional prepared environment.
+func AnonymizeCtx(ctx context.Context, t *dataset.Table, k int, tLevel float64, env *Env) (*Result, error) {
 	if t == nil || t.Len() == 0 {
 		return nil, errors.New("sabre: data set has no records")
 	}
@@ -75,22 +95,39 @@ func Anonymize(t *dataset.Table, k int, tLevel float64) (*Result, error) {
 	if tLevel <= 0 || tLevel > 1 {
 		return nil, fmt.Errorf("sabre: t must be in (0, 1], got %v", tLevel)
 	}
-	n := t.Len()
-	confCol := t.Schema().Confidentials()[0]
-	conf := t.ColumnView(confCol)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if conf[order[i]] != conf[order[j]] {
-			return conf[order[i]] < conf[order[j]]
+	n := t.Len()
+	var order []int
+	if env != nil && env.Order != nil {
+		order = env.Order
+	} else {
+		confCol := t.Schema().Confidentials()[0]
+		conf := t.ColumnView(confCol)
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
 		}
-		return order[i] < order[j]
-	})
+		sort.Slice(order, func(i, j int) bool {
+			if conf[order[i]] != conf[order[j]] {
+				return conf[order[i]] < conf[order[j]]
+			}
+			return order[i] < order[j]
+		})
+	}
+	var mat *micro.Matrix
+	if env != nil && env.Mat != nil {
+		mat = env.Mat
+	} else {
+		mat = micro.NewMatrix(t.QIMatrix())
+	}
 
 	buckets := bucketize(n, k, tLevel)
-	clusters := redistribute(t, order, buckets, k)
+	clusters, err := redistribute(ctx, t, mat, order, buckets, k)
+	if err != nil {
+		return nil, err
+	}
 
 	spaces := make([]*emd.Space, 0, len(t.Schema().Confidentials()))
 	for _, c := range t.Schema().Confidentials() {
@@ -245,9 +282,8 @@ func worstECBound(n, m int, buckets []bucket) float64 {
 // k-d tree over the QI cube above the crossover and fall back to the linear
 // scans below it. The centroid of the remaining records is maintained as a
 // running sum instead of a per-class rescan.
-func redistribute(t *dataset.Table, order []int, buckets []bucket, k int) []micro.Cluster {
+func redistribute(ctx context.Context, t *dataset.Table, mat *micro.Matrix, order []int, buckets []bucket, k int) ([]micro.Cluster, error) {
 	n := t.Len()
-	mat := micro.NewMatrix(t.QIMatrix())
 	m := ecSize(n, k, buckets)
 	// Per-bucket record pools in confidential order; their concatenation in
 	// bucket order is exactly `order`, the tie-break order of every seed
@@ -265,6 +301,9 @@ func redistribute(t *dataset.Table, order []int, buckets []bucket, k int) []micr
 	counts := drawCounts(n, m, buckets)
 	var clusters []micro.Cluster
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		left := len(alive)
 		if left == 0 {
 			break
@@ -303,7 +342,7 @@ func redistribute(t *dataset.Table, order []int, buckets []bucket, k int) []micr
 		global.Remove(rows)
 		clusters = append(clusters, micro.Cluster{Rows: rows})
 	}
-	return clusters
+	return clusters, nil
 }
 
 func removeOne(s []int, v int) []int {

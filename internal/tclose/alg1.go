@@ -1,6 +1,8 @@
 package tclose
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -22,6 +24,78 @@ func Algorithm1(t *dataset.Table, k int, tLevel float64, part Partitioner) (*Res
 	return Algorithm1Policy(t, k, tLevel, part, MergeNearestQI)
 }
 
+// Algorithm1 runs the paper's Algorithm 1 against the prepared substrate;
+// see the package-level Algorithm1. With a nil partitioner the default MDAV
+// partition is cached per k, so a t sweep at fixed k pays for it once.
+func (prep *Prepared) Algorithm1(run Run, k int, tLevel float64, part Partitioner) (*Result, error) {
+	return prep.Algorithm1Policy(run, k, tLevel, part, MergeNearestQI)
+}
+
+// Algorithm1Policy is Prepared.Algorithm1 with an explicit merge-partner
+// policy.
+func (prep *Prepared) Algorithm1Policy(run Run, k int, tLevel float64, part Partitioner, policy MergePolicy) (*Result, error) {
+	p, err := prep.newRun(run, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	var clusters []micro.Cluster
+	if part == nil {
+		clusters, err = prep.defaultPartition(p.run.Ctx, k)
+	} else {
+		// Custom partitioners get a private copy of the normalized points:
+		// the substrate slices are shared across every run of the Prepared,
+		// and the Partitioner contract does not require read-only use. A
+		// custom partitioner cannot be cancelled mid-flight (its signature
+		// carries no context); the run aborts at the next check after it
+		// returns.
+		clusters, err = part(prep.pointsCopy(), p.k)
+	}
+	if err != nil {
+		if ctxErr := p.interrupted(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("tclose: initial microaggregation: %w", err)
+	}
+	if err := p.interrupted(); err != nil {
+		return nil, err
+	}
+	merged, merges, err := p.mergeUntilTClosePolicy(clusters, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Clusters:   merged,
+		MaxEMD:     p.maxEMD(merged),
+		Merges:     merges,
+		EffectiveK: p.k,
+	}, nil
+}
+
+// defaultPartition returns the cached MDAV partition for k, computing it on
+// first demand under the run's context (a cancelled computation is not
+// cached). The cached clusters are shared read-only: the merge loop copies
+// rows and never mutates the input partition. Concurrent misses may compute
+// the (deterministic, identical) partition twice; one wins.
+func (prep *Prepared) defaultPartition(ctx context.Context, k int) ([]micro.Cluster, error) {
+	prep.cacheMu.Lock()
+	if c, ok := prep.mdavByK[k]; ok {
+		prep.cacheMu.Unlock()
+		return c, nil
+	}
+	prep.cacheMu.Unlock()
+	clusters, err := micro.MDAVMatrixCtx(ctx, prep.mat, k)
+	if err != nil {
+		return nil, err
+	}
+	prep.cacheMu.Lock()
+	if prep.mdavByK == nil {
+		prep.mdavByK = make(map[int][]micro.Cluster)
+	}
+	prep.mdavByK[k] = clusters
+	prep.cacheMu.Unlock()
+	return clusters, nil
+}
+
 // MergePolicy selects how Algorithm 1 chooses the partner of the
 // worst-EMD cluster in each merge step.
 type MergePolicy int
@@ -39,24 +113,11 @@ const (
 
 // Algorithm1Policy is Algorithm1 with an explicit merge-partner policy.
 func Algorithm1Policy(t *dataset.Table, k int, tLevel float64, part Partitioner, policy MergePolicy) (*Result, error) {
-	p, err := newProblem(t, k, tLevel)
+	prep, err := prepareOneShot(t, k, tLevel)
 	if err != nil {
 		return nil, err
 	}
-	if part == nil {
-		part = micro.MDAV
-	}
-	clusters, err := part(p.points, p.k)
-	if err != nil {
-		return nil, fmt.Errorf("tclose: initial microaggregation: %w", err)
-	}
-	merged, merges := p.mergeUntilTClosePolicy(clusters, policy)
-	return &Result{
-		Clusters:   merged,
-		MaxEMD:     p.maxEMD(merged),
-		Merges:     merges,
-		EffectiveK: p.k,
-	}, nil
+	return prep.Algorithm1Policy(Run{}, k, tLevel, part, policy)
 }
 
 // mergeState caches, for each live cluster, its histogram set, EMD, and QI
@@ -148,11 +209,13 @@ func (st *mergeState) popWorst() (int, float64) {
 
 // mergeUntilTClose runs Algorithm 1's merging loop on an initial partition
 // and returns the resulting partition and the number of merges performed.
-func (p *problem) mergeUntilTClose(clusters []micro.Cluster) ([]micro.Cluster, int) {
+// Cancellation is checked once per merge, so an abandoned run stops within
+// one merge step (O(#clusters) work).
+func (p *problem) mergeUntilTClose(clusters []micro.Cluster) ([]micro.Cluster, int, error) {
 	return p.mergeUntilTClosePolicy(clusters, MergeNearestQI)
 }
 
-func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergePolicy) ([]micro.Cluster, int) {
+func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergePolicy) ([]micro.Cluster, int, error) {
 	st := &mergeState{
 		rows:     make([][]int, len(clusters)),
 		hists:    make([]histSet, len(clusters)),
@@ -173,6 +236,9 @@ func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergeP
 	}
 	merges := 0
 	for st.nAlive > 1 {
+		if err := p.interrupted(); err != nil {
+			return nil, 0, err
+		}
 		// Cluster farthest from the data set distribution.
 		worst, worstEMD := st.popWorst()
 		if worst < 0 || worstEMD <= p.t {
@@ -205,6 +271,7 @@ func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergeP
 			st.worst.push(worstEntry{emd: st.emds[worst], idx: worst})
 		}
 		merges++
+		p.reportProgress("merge", merges, 0)
 	}
 	out := make([]micro.Cluster, 0, st.nAlive)
 	for i := range st.rows {
@@ -212,7 +279,7 @@ func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergeP
 			out = append(out, micro.Cluster{Rows: st.rows[i]})
 		}
 	}
-	return out, merges
+	return out, merges, nil
 }
 
 // merge folds cluster b into cluster a and updates the cached centroid,

@@ -20,12 +20,29 @@ import (
 // cluster state are skipped in O(1), and each surviving evaluation costs
 // O(occΔ·log m) instead of the naive full-histogram walk.
 func Algorithm2(t *dataset.Table, k int, tLevel float64) (*Result, error) {
-	p, err := newProblem(t, k, tLevel)
+	prep, err := prepareOneShot(t, k, tLevel)
 	if err != nil {
 		return nil, err
 	}
-	clusters, swaps := p.kAnonymityFirstPartition()
-	merged, merges := p.mergeUntilTClose(clusters)
+	return prep.Algorithm2(Run{}, k, tLevel)
+}
+
+// Algorithm2 runs the paper's Algorithm 2 against the prepared substrate;
+// see the package-level Algorithm2. The k-anonymity-first partition depends
+// on both k and t (the swap refinement targets t), so it is never cached.
+func (prep *Prepared) Algorithm2(run Run, k int, tLevel float64) (*Result, error) {
+	p, err := prep.newRun(run, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	clusters, swaps, err := p.kAnonymityFirstPartition()
+	if err != nil {
+		return nil, err
+	}
+	merged, merges, err := p.mergeUntilTClose(clusters)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Clusters:   merged,
 		MaxEMD:     p.maxEMD(merged),
@@ -41,11 +58,18 @@ func Algorithm2(t *dataset.Table, k int, tLevel float64) (*Result, error) {
 // so Result.MaxEMD may exceed t; it is exposed for the ablation benchmarks
 // comparing the guarantee's cost.
 func Algorithm2Standalone(t *dataset.Table, k int, tLevel float64) (*Result, error) {
-	p, err := newProblem(t, k, tLevel)
+	prep, err := prepareOneShot(t, k, tLevel)
 	if err != nil {
 		return nil, err
 	}
-	clusters, swaps := p.kAnonymityFirstPartition()
+	p, err := prep.newRun(Run{}, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	clusters, swaps, err := p.kAnonymityFirstPartition()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Clusters:   clusters,
 		MaxEMD:     p.maxEMD(clusters),
@@ -62,7 +86,9 @@ func Algorithm2Standalone(t *dataset.Table, k int, tLevel float64) (*Result, err
 // and both the farthest-seed queries and the candidate ordering run on a
 // micro.Searcher — a deletable k-d tree over the normalized QI cube for
 // large inputs, the linear scans below the crossover.
-func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
+// Cancellation is checked once per seed-pair round, so an abandoned run
+// stops within two cluster extractions.
+func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int, error) {
 	n := p.table.Len()
 	avail := make([]int, n)
 	for i := range avail {
@@ -73,6 +99,9 @@ func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
 	var clusters []micro.Cluster
 	swaps := 0
 	for len(avail) > 0 {
+		if err := p.interrupted(); err != nil {
+			return nil, 0, err
+		}
 		x0 := search.Farthest(avail, rc.CentroidOf(avail))
 		c, s := p.generateCluster(x0, avail, search)
 		swaps += s
@@ -90,8 +119,9 @@ func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int) {
 		rc.RemoveRows(c)
 		search.Remove(c)
 		clusters = append(clusters, micro.Cluster{Rows: c})
+		p.reportProgress("partition", n-len(avail), n)
 	}
-	return clusters, swaps
+	return clusters, swaps, nil
 }
 
 // generateCluster implements the paper's GenerateCluster: starting from the

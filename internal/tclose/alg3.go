@@ -1,8 +1,6 @@
 package tclose
 
 import (
-	"sort"
-
 	"repro/internal/dataset"
 	"repro/internal/emd"
 	"repro/internal/micro"
@@ -41,11 +39,25 @@ import (
 // the first one; the construction guarantee covers that attribute, and
 // Result.MaxEMD reports the worst EMD across all of them.
 func Algorithm3(t *dataset.Table, k int, tLevel float64) (*Result, error) {
-	p, err := newProblem(t, k, tLevel)
+	prep, err := prepareOneShot(t, k, tLevel)
 	if err != nil {
 		return nil, err
 	}
-	n := t.Len()
+	return prep.Algorithm3(Run{}, k, tLevel)
+}
+
+// Algorithm3 runs the paper's Algorithm 3 against the prepared substrate;
+// see the package-level Algorithm3. The partition (and its achieved EMD)
+// depends on (k, t) only through the effective cluster size k', so it is
+// cached per k': every (k, t) grid point mapping to an already-computed k'
+// returns a deep copy of the cached partition without touching the
+// quasi-identifier geometry at all.
+func (prep *Prepared) Algorithm3(run Run, k int, tLevel float64) (*Result, error) {
+	p, err := prep.newRun(run, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	n := prep.table.Len()
 	kEff, err := emd.RequiredClusterSize(n, p.k, p.t)
 	if err != nil {
 		return nil, err
@@ -60,12 +72,37 @@ func Algorithm3(t *dataset.Table, k int, tLevel float64) (*Result, error) {
 		clusters := []micro.Cluster{{Rows: all}}
 		return &Result{Clusters: clusters, MaxEMD: 0, EffectiveK: kEff}, nil
 	}
-	clusters := p.tClosenessFirstPartition(kEff)
+	prep.cacheMu.Lock()
+	cached, ok := prep.alg3ByK[kEff]
+	prep.cacheMu.Unlock()
+	if !ok {
+		clusters, err := p.tClosenessFirstPartition(kEff)
+		if err != nil {
+			return nil, err
+		}
+		cached = alg3Cached{clusters: clusters, maxEMD: p.maxEMD(clusters)}
+		prep.cacheMu.Lock()
+		if prep.alg3ByK == nil {
+			prep.alg3ByK = make(map[int]alg3Cached)
+		}
+		prep.alg3ByK[kEff] = cached
+		prep.cacheMu.Unlock()
+	}
 	return &Result{
-		Clusters:   clusters,
-		MaxEMD:     p.maxEMD(clusters),
+		Clusters:   copyClusters(cached.clusters),
+		MaxEMD:     cached.maxEMD,
 		EffectiveK: kEff,
 	}, nil
+}
+
+// copyClusters deep-copies a partition so cached state never escapes to
+// callers that may mutate their Result.
+func copyClusters(clusters []micro.Cluster) []micro.Cluster {
+	out := make([]micro.Cluster, len(clusters))
+	for i, c := range clusters {
+		out[i] = micro.Cluster{Rows: append([]int(nil), c.Rows...)}
+	}
+	return out
 }
 
 // rankSubsets splits record indices into k subsets of floor(n/k) records in
@@ -75,18 +112,9 @@ func Algorithm3(t *dataset.Table, k int, tLevel float64) (*Result, error) {
 // of the paper). The Eq. (4) adjustment guarantees n mod k <= floor(n/k).
 func (p *problem) rankSubsets(k int) [][]int {
 	n := p.table.Len()
-	confCol := p.table.Schema().Confidentials()[0]
-	conf := p.table.ColumnView(confCol)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if conf[order[i]] != conf[order[j]] {
-			return conf[order[i]] < conf[order[j]]
-		}
-		return order[i] < order[j]
-	})
+	// The (value, row) ranking is shared substrate, sorted once per table
+	// epoch; the subsets copy their slices out of it.
+	order := p.ConfOrder()
 	base := n / k
 	r := n % k
 	sizes := make([]int, k)
@@ -121,7 +149,9 @@ func (p *problem) rankSubsets(k int) [][]int {
 // otherwise, with identical results either way. Subset Searchers tie-break
 // by position in the confidential ranking, exactly as the linear scan over
 // the subset slice does.
-func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
+// Cancellation is checked once per seed-pair round, so an abandoned run
+// stops within two cluster builds.
+func (p *problem) tClosenessFirstPartition(k int) ([]micro.Cluster, error) {
 	n := p.table.Len()
 	subsets := p.rankSubsets(k)
 	base := n / k
@@ -171,6 +201,9 @@ func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 		return micro.Cluster{Rows: rows}
 	}
 	for len(remaining) > 0 {
+		if err := p.interrupted(); err != nil {
+			return nil, err
+		}
 		x0 := global.Farthest(remaining, rc.CentroidOf(remaining))
 		c := build(p.mat.Row(x0))
 		clusters = append(clusters, c)
@@ -179,8 +212,9 @@ func (p *problem) tClosenessFirstPartition(k int) []micro.Cluster {
 		}
 		x1 := global.Farthest(remaining, p.mat.Row(x0))
 		clusters = append(clusters, build(p.mat.Row(x1)))
+		p.reportProgress("partition", n-len(remaining), n)
 	}
-	return clusters
+	return clusters, nil
 }
 
 // removeOne returns s with the first occurrence of v removed.

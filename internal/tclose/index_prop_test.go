@@ -153,7 +153,10 @@ func TestMergeHeapMatchesLinearScan(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotClusters, gotMerges := p.mergeUntilTClose(clusters)
+		gotClusters, gotMerges, err := p.mergeUntilTClose(clusters)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wantClusters, wantMerges := referenceMergeUntilTClose(p, clusters)
 		if gotMerges != wantMerges {
 			t.Errorf("%s: merges=%d want %d", tc.name, gotMerges, wantMerges)

@@ -129,7 +129,10 @@ func TestKAnonymityFirstPartitionMatchesReference(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				gotClusters, gotSwaps := p.kAnonymityFirstPartition()
+				gotClusters, gotSwaps, err := p.kAnonymityFirstPartition()
+				if err != nil {
+					t.Fatal(err)
+				}
 				wantClusters, wantSwaps := referenceKAnonymityFirstPartition(p)
 				if gotSwaps != wantSwaps {
 					t.Errorf("%s k=%d t=%v: swaps=%d want %d", name, k, tl, gotSwaps, wantSwaps)
@@ -161,7 +164,10 @@ func TestAlgorithm2EndToEndMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			refPart, _ := referenceKAnonymityFirstPartition(p)
-			refMerged, _ := p.mergeUntilTClose(refPart)
+			refMerged, _, err := p.mergeUntilTClose(refPart)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(res.Clusters, refMerged) {
 				t.Fatalf("k=%d t=%v: end-to-end partition diverges from reference", k, tl)
 			}

@@ -1,0 +1,274 @@
+package tclose
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/emd"
+	"repro/internal/micro"
+)
+
+// Prepared is the reusable per-table substrate shared by the three
+// algorithms: the normalized quasi-identifier geometry (both the row-major
+// point slices of the public Partitioner interface and the flat
+// stride-indexed Matrix of the hot distance scans), one EMD space per
+// confidential attribute, the packed per-record confidential-bin
+// signatures, and lazily materialized derived state (the confidential
+// ranking, partition caches). Preparing once and running many (k, t)
+// parameter points against the same Prepared is the whole point of the
+// engine API: a parameter sweep stops paying the O(n·log n) substrate
+// build — and, where a partition depends only on k, the partition itself —
+// once per point.
+//
+// A Prepared is safe for concurrent runs: everything built by Prepare is
+// immutable afterwards, and the lazy pieces are guarded internally.
+type Prepared struct {
+	table  *dataset.Table
+	points [][]float64
+	mat    *micro.Matrix
+	spaces []*emd.Space
+	norm   dataset.NormParams
+
+	// sigs holds each record's confidential-bin tuple packed into one
+	// uint64 (mixed radix over the spaces' bin counts); nil when the
+	// product of bin counts overflows, in which case signature-based
+	// deduplication is skipped (a pure optimization, never a semantic
+	// change). Records with equal signatures are interchangeable for every
+	// EMD computation.
+	sigs      []uint64
+	sigDomain uint64
+
+	// confOrder is the record order by (first confidential value, row),
+	// the ranking Algorithm 3's subsets and SABRE's buckets are defined
+	// over; sorted once on first demand.
+	confOnce  sync.Once
+	confOrder []int
+
+	// Partition caches: MDAV partitions depend only on k, and Algorithm 3
+	// partitions only on the effective cluster size, so a (k, t) sweep
+	// reuses them across t points. Guarded by cacheMu; cached cluster row
+	// slices are never handed out for mutation (Algorithm 1's merge copies
+	// rows, Algorithm 3 returns deep copies).
+	cacheMu sync.Mutex
+	mdavByK map[int][]micro.Cluster
+	alg3ByK map[int]alg3Cached
+}
+
+type alg3Cached struct {
+	clusters []micro.Cluster
+	maxEMD   float64
+}
+
+// Run carries the per-invocation execution options of a prepared
+// algorithm run. The zero value runs to completion without reporting.
+type Run struct {
+	// Ctx cancels the run between partition, merge and refinement steps;
+	// the algorithm then returns Ctx.Err(). nil means context.Background.
+	Ctx context.Context
+	// Progress, when non-nil, receives coarse-grained progress events from
+	// the partition and merge loops. It is called synchronously on the
+	// run's goroutine and must be fast.
+	Progress ProgressFunc
+}
+
+// Progress is one progress event of a run.
+type Progress struct {
+	// Phase names the loop reporting: "partition" or "merge".
+	Phase string
+	// Done counts completed work units (records clustered, merges done).
+	Done int
+	// Total is the known total for the phase, 0 when unbounded (merges).
+	Total int
+}
+
+// ProgressFunc receives progress events; see Run.
+type ProgressFunc func(Progress)
+
+// Prepare validates the table and builds the shared substrate. The table
+// must not be mutated while the Prepared is in use.
+func Prepare(t *dataset.Table) (*Prepared, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, ErrNoRecords
+	}
+	if err := t.Schema().Validate(); err != nil {
+		return nil, err
+	}
+	// Numeric (and ordinal, if encoded as numbers) confidential attributes
+	// use the paper's ordered-distance EMD; nominal categorical attributes
+	// use the equal-ground-distance (total variation) EMD, implementing the
+	// categorical extension the paper's conclusions call for.
+	cols := t.Schema().Confidentials()
+	spaces := make([]*emd.Space, len(cols))
+	for i, c := range cols {
+		var s *emd.Space
+		var err error
+		if t.Schema().Attr(c).Kind == dataset.Categorical {
+			s, err = emd.NewNominalSpace(t.ColumnView(c))
+		} else {
+			s, err = emd.NewSpace(t.ColumnView(c))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tclose: building EMD space for %q: %w",
+				t.Schema().Attr(c).Name, err)
+		}
+		spaces[i] = s
+	}
+	// QIMatrixTail(0, norm) is the full QIMatrix under an explicit frame,
+	// reusing the min-max pass instead of scanning the columns twice.
+	norm := t.QINormParams()
+	points := t.QIMatrixTail(0, norm)
+	p := &Prepared{
+		table:  t,
+		points: points,
+		mat:    micro.NewMatrix(points),
+		spaces: spaces,
+		norm:   norm,
+	}
+	p.initSignatures()
+	return p, nil
+}
+
+// Table returns the table the substrate was prepared over.
+func (p *Prepared) Table() *dataset.Table { return p.table }
+
+// Matrix returns the normalized quasi-identifier matrix. Callers may tune
+// it (micro.Matrix.SetTuning, EnableIndexCache) before the Prepared is
+// shared, and must treat it as read-only afterwards.
+func (p *Prepared) Matrix() *micro.Matrix { return p.mat }
+
+// Spaces returns the per-confidential-attribute EMD spaces (read-only).
+func (p *Prepared) Spaces() []*emd.Space { return p.spaces }
+
+// pointsCopy returns a deep copy of the normalized point rows — handed to
+// custom Partitioners, which are not bound to read-only use, so that a
+// writing partitioner can never corrupt the substrate shared by other runs.
+func (p *Prepared) pointsCopy() [][]float64 {
+	out := make([][]float64, len(p.points))
+	dim := 0
+	if len(p.points) > 0 {
+		dim = len(p.points[0])
+	}
+	flat := make([]float64, len(p.points)*dim)
+	for i, row := range p.points {
+		dst := flat[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(dst, row)
+		out[i] = dst
+	}
+	return out
+}
+
+// ConfOrder returns the records sorted by (first confidential value, row) —
+// the ranking Algorithm 3 and SABRE bucket over — materializing it on first
+// call. The returned slice is shared and must not be modified.
+func (p *Prepared) ConfOrder() []int {
+	p.confOnce.Do(func() {
+		confCol := p.table.Schema().Confidentials()[0]
+		conf := p.table.ColumnView(confCol)
+		order := make([]int, p.table.Len())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if conf[order[i]] != conf[order[j]] {
+				return conf[order[i]] < conf[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		p.confOrder = order
+	})
+	return p.confOrder
+}
+
+// initSignatures packs every record's confidential bin tuple into one
+// uint64 (mixed radix over the spaces' bin counts).
+func (p *Prepared) initSignatures() {
+	radix := make([]uint64, len(p.spaces))
+	prod := uint64(1)
+	for i := len(p.spaces) - 1; i >= 0; i-- {
+		radix[i] = prod
+		m := uint64(p.spaces[i].Bins())
+		if m != 0 && prod > math.MaxUint64/m {
+			return // overflow: leave sigs nil, dedup disabled
+		}
+		prod *= m
+	}
+	sigs := make([]uint64, p.table.Len())
+	for i, s := range p.spaces {
+		for rec := range sigs {
+			sigs[rec] += uint64(s.Bin(rec)) * radix[i]
+		}
+	}
+	p.sigs = sigs
+	p.sigDomain = prod
+}
+
+// Extend returns a Prepared over the extended table, whose first
+// p.Table().Len() records must be exactly the records the receiver was
+// prepared over (same schema, values appended behind them). It recomputes
+// only invalidated pieces: EMD spaces extend incrementally (emd.Space
+// .Extend), and when no appended value widens a quasi-identifier's min-max
+// range the normalized matrix is extended in place of a full
+// renormalization. Everything — spaces, matrix, and therefore every
+// partition — is bit-identical to a cold Prepare over the extended table.
+// Tuning and an enabled index cache carry over to the new matrix (with a
+// fresh, unbuilt master); partition caches and the confidential ranking
+// start cold, since every row set change invalidates them.
+func (p *Prepared) Extend(t *dataset.Table) (*Prepared, error) {
+	if t == nil || t.Len() < p.table.Len() {
+		return nil, errors.New("tclose: extended table is shorter than the prepared one")
+	}
+	if !t.Schema().Equal(p.table.Schema()) {
+		return nil, errors.New("tclose: extended table has a different schema")
+	}
+	old := p.table.Len()
+	cols := t.Schema().Confidentials()
+	if len(cols) != len(p.spaces) {
+		return nil, errors.New("tclose: confidential attributes changed")
+	}
+	spaces := make([]*emd.Space, len(cols))
+	for i, c := range cols {
+		s, err := p.spaces[i].Extend(t.ColumnView(c)[old:])
+		if err != nil {
+			return nil, fmt.Errorf("tclose: extending EMD space for %q: %w",
+				t.Schema().Attr(c).Name, err)
+		}
+		spaces[i] = s
+	}
+	norm := t.QINormParams()
+	var mat *micro.Matrix
+	var points [][]float64
+	if norm.Equal(p.norm) {
+		// No appended value widened any quasi-identifier range: every old
+		// normalized row is unchanged, so only the tail is normalized.
+		mat = p.mat.AppendRowsCopy(t.QIMatrixTail(old, norm))
+		// The Partitioner interface hands points to arbitrary callers, so
+		// they must not alias the matrix backing (a writing partitioner
+		// would otherwise corrupt the shared matrix and its index cache) —
+		// same insulation the cold path gets from NewMatrix's copy.
+		points = make([][]float64, mat.N())
+		for i := range points {
+			points[i] = append([]float64(nil), mat.Row(i)...)
+		}
+	} else {
+		points = t.QIMatrix()
+		mat = micro.NewMatrix(points)
+		mat.SetTuning(p.mat.TuningOf())
+		if p.mat.IndexCacheEnabled() {
+			mat.EnableIndexCache()
+		}
+	}
+	out := &Prepared{
+		table:  t,
+		points: points,
+		mat:    mat,
+		spaces: spaces,
+		norm:   norm,
+	}
+	out.initSignatures()
+	return out, nil
+}

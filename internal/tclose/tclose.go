@@ -19,6 +19,18 @@
 // All three return a Result whose Clusters field partitions the input table;
 // micro.Aggregate turns that partition into the anonymized release.
 //
+// # Prepared substrate
+//
+// The package-level Algorithm1/2/3 functions are one-shot: each call builds
+// the per-table substrate (normalized QI geometry, EMD spaces, signatures)
+// and throws it away. Sweep callers should Prepare once and invoke the
+// Prepared methods of the same names, which share the substrate across
+// runs, support context cancellation and progress reporting through Run,
+// and cache the partitions that depend on fewer parameters than the full
+// (k, t) pair (MDAV per k, Algorithm 3 per effective cluster size). Both
+// paths produce bit-identical results; a Prepared is safe for concurrent
+// runs.
+//
 // # Performance
 //
 // The algorithms run on incremental data structures rather than the naive
@@ -56,9 +68,9 @@
 package tclose
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/emd"
@@ -99,112 +111,86 @@ var (
 	ErrNoRecords = errors.New("tclose: data set has no records")
 )
 
-// problem bundles the per-run view of the input shared by the algorithms:
-// normalized QI points (both row-major slices for the public Partitioner
-// interface and a flat stride-indexed matrix for the hot distance scans),
-// one EMD space per confidential attribute, the validated parameters, and
-// reusable scratch state for the partition loops.
+// problem is the per-run view of a Prepared substrate: the validated
+// parameters of one algorithm invocation plus the run-private scratch state
+// of the partition loops. The substrate itself (table, points, matrix, EMD
+// spaces, signatures) is shared read-only across concurrent runs; every
+// mutable piece lives here.
 type problem struct {
-	table  *dataset.Table
-	points [][]float64
-	mat    *micro.Matrix
-	spaces []*emd.Space
-	k      int
-	t      float64
+	*Prepared
+	k   int
+	t   float64
+	run Run
 
 	// rowScratch backs micro.FilterRows so the partition loops do not
 	// allocate per removal.
 	rowScratch []bool
-	// sigs holds each record's confidential-bin tuple packed into one
-	// uint64 (mixed radix over the spaces' bin counts); nil when the
-	// product of bin counts overflows, in which case signature-based
-	// deduplication is skipped (a pure optimization, never a semantic
-	// change). Records with equal signatures are interchangeable for every
-	// EMD computation. Precomputed once so the innermost refinement loop
-	// reads a slice instead of re-deriving bins per evaluation.
-	sigs []uint64
 	// rejected memoizes candidate signatures already tried without
 	// improvement against the current cluster state of Algorithm 2's swap
 	// refinement; evaluated deduplicates eviction candidates within one
-	// refinement step.
+	// refinement step. Both are nil when the substrate's signature domain
+	// overflowed.
 	rejected  *sigSet
 	evaluated *sigSet
 }
 
-func newProblem(t *dataset.Table, k int, tLevel float64) (*problem, error) {
-	if t == nil || t.Len() == 0 {
-		return nil, ErrNoRecords
-	}
-	if err := t.Schema().Validate(); err != nil {
-		return nil, err
-	}
+// newRun validates the per-run parameters and builds the run-private state
+// over the shared substrate.
+func (prep *Prepared) newRun(run Run, k int, tLevel float64) (*problem, error) {
 	if k < 1 {
 		return nil, ErrBadK
 	}
 	if tLevel <= 0 || tLevel > 1 {
 		return nil, fmt.Errorf("%w: got %v", ErrBadT, tLevel)
 	}
-	// Numeric (and ordinal, if encoded as numbers) confidential attributes
-	// use the paper's ordered-distance EMD; nominal categorical attributes
-	// use the equal-ground-distance (total variation) EMD, implementing the
-	// categorical extension the paper's conclusions call for. Algorithm 3's
-	// rank subsets then group records of the same category contiguously, so
-	// one-record-per-subset clusters approximate proportional category
-	// representation; its analytic Proposition 2 guarantee applies to the
-	// ordered distance only, and the achieved nominal EMD is reported in
-	// Result.MaxEMD.
-	cols := t.Schema().Confidentials()
-	spaces := make([]*emd.Space, len(cols))
-	for i, c := range cols {
-		var s *emd.Space
-		var err error
-		if t.Schema().Attr(c).Kind == dataset.Categorical {
-			s, err = emd.NewNominalSpace(t.ColumnView(c))
-		} else {
-			s, err = emd.NewSpace(t.ColumnView(c))
-		}
-		if err != nil {
-			return nil, fmt.Errorf("tclose: building EMD space for %q: %w",
-				t.Schema().Attr(c).Name, err)
-		}
-		spaces[i] = s
+	if run.Ctx == nil {
+		run.Ctx = context.Background()
 	}
-	points := t.QIMatrix()
 	p := &problem{
-		table:      t,
-		points:     points,
-		mat:        micro.NewMatrix(points),
-		spaces:     spaces,
+		Prepared:   prep,
 		k:          k,
 		t:          tLevel,
-		rowScratch: make([]bool, t.Len()),
+		run:        run,
+		rowScratch: make([]bool, prep.table.Len()),
 	}
-	p.initSignatures()
+	if prep.sigs != nil {
+		p.rejected = newSigSet(prep.sigDomain)
+		p.evaluated = newSigSet(prep.sigDomain)
+	}
 	return p, nil
 }
 
-// initSignatures packs every record's confidential bin tuple into one
-// uint64 (mixed radix over the spaces' bin counts).
-func (p *problem) initSignatures() {
-	radix := make([]uint64, len(p.spaces))
-	prod := uint64(1)
-	for i := len(p.spaces) - 1; i >= 0; i-- {
-		radix[i] = prod
-		m := uint64(p.spaces[i].Bins())
-		if m != 0 && prod > math.MaxUint64/m {
-			return // overflow: leave sigs nil, dedup disabled
-		}
-		prod *= m
+// prepareOneShot validates the parameters and prepares a throwaway
+// substrate — the legacy one-call-per-run entry path.
+func prepareOneShot(t *dataset.Table, k int, tLevel float64) (*Prepared, error) {
+	if k < 1 {
+		return nil, ErrBadK
 	}
-	sigs := make([]uint64, p.table.Len())
-	for i, s := range p.spaces {
-		for rec := range sigs {
-			sigs[rec] += uint64(s.Bin(rec)) * radix[i]
-		}
+	if tLevel <= 0 || tLevel > 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadT, tLevel)
 	}
-	p.sigs = sigs
-	p.rejected = newSigSet(prod)
-	p.evaluated = newSigSet(prod)
+	return Prepare(t)
+}
+
+// newProblem prepares a throwaway substrate and builds one run over it —
+// the one-shot path, also exercised directly by the property tests.
+func newProblem(t *dataset.Table, k int, tLevel float64) (*problem, error) {
+	prep, err := prepareOneShot(t, k, tLevel)
+	if err != nil {
+		return nil, err
+	}
+	return prep.newRun(Run{}, k, tLevel)
+}
+
+// interrupted returns the run context's error, checked by the partition and
+// merge loops between work units.
+func (p *problem) interrupted() error { return p.run.Ctx.Err() }
+
+// reportProgress delivers a progress event when the run asked for them.
+func (p *problem) reportProgress(phase string, done, total int) {
+	if p.run.Progress != nil {
+		p.run.Progress(Progress{Phase: phase, Done: done, Total: total})
+	}
 }
 
 // sigSet is a reusable membership set over packed bin signatures: a dense

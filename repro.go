@@ -8,8 +8,10 @@
 // The facade re-exports the user-facing pieces of the internal packages:
 //
 //   - describing microdata (Schema, Attribute, Table, CSV I/O),
-//   - anonymizing it with one of the paper's three algorithms or the
-//     Mondrian generalization baseline (Anonymize, Config),
+//   - preparing a reusable anonymization engine over a table (New) and
+//     running any of the paper's algorithms or the comparison baselines
+//     against it (Engine.Run, Spec), with context cancellation, engine-
+//     scoped tuning options, and epoch-based ingest (Engine.Append),
 //   - verifying the released table's privacy level (Assess, KAnonymity,
 //     TCloseness), and
 //   - quantifying utility (NormalizedSSE).
@@ -17,10 +19,32 @@
 // Quickstart:
 //
 //	table := repro.CensusMCD() // or dataset built via NewTable/ReadCSV
-//	res, err := repro.Anonymize(table, repro.Config{
+//	eng, err := repro.New(table)
+//	res, err := eng.Run(ctx, repro.Spec{
 //		Algorithm: repro.TClosenessFirst, K: 5, T: 0.15,
 //	})
 //	// res.Anonymized is the k-anonymous t-close release.
+//
+// The engine prepares the shared substrate — normalized quasi-identifier
+// geometry, the EMD dataset-prefix spaces, a lazily built spatial index —
+// once, so a parameter sweep pays for it a single time:
+//
+//	for _, k := range []int{2, 5, 10} {
+//		for _, t := range []float64{0.05, 0.15, 0.25} {
+//			res, err := eng.Run(ctx, repro.Spec{
+//				Algorithm: repro.TClosenessFirst, K: k, T: t,
+//			})
+//			// ...
+//		}
+//	}
+//
+// Runs are safe to issue concurrently, cancel promptly when ctx does, and
+// new records can be ingested between runs with eng.Append(rows...) — each
+// append opens a new table epoch whose runs are bit-identical to a fresh
+// engine over the concatenated table.
+//
+// The one-shot Anonymize(table, cfg) remains fully supported as a shim
+// over a throwaway engine for callers that anonymize a table exactly once.
 package repro
 
 import (
@@ -76,7 +100,20 @@ func ReadCSV(r io.Reader) (*Table, error) { return dataset.ReadCSV(r) }
 
 // Anonymization configuration and result types. See package core.
 type (
-	// Config parameterizes Anonymize (algorithm, k, t).
+	// Engine is a prepared, reusable anonymization session over one table:
+	// the substrate is built once by New and shared by every Run. Safe for
+	// concurrent Runs and Append.
+	Engine = core.Engine
+	// Spec parameterizes one Engine.Run (algorithm, k, t).
+	Spec = core.Spec
+	// Option configures an Engine at construction; see WithWorkers,
+	// WithIndexCrossover, WithProgress.
+	Option = core.Option
+	// Progress is one progress event delivered to a WithProgress hook.
+	Progress = core.Progress
+	// Config is the legacy name of Spec.
+	//
+	// Deprecated: use Spec with New / Engine.Run.
 	Config = core.Config
 	// Result is an anonymization outcome: the released table plus privacy
 	// and utility diagnostics.
@@ -88,6 +125,26 @@ type (
 	Cluster = micro.Cluster
 	// Partitioner is a pluggable initial microaggregation for Algorithm 1.
 	Partitioner = tclose.Partitioner
+)
+
+// New prepares a reusable anonymization engine over a private copy of the
+// table; see core.NewEngine. Use Engine.Run to execute algorithms against
+// it and Engine.Append to ingest new records in epochs.
+func New(t *Table, opts ...Option) (*Engine, error) { return core.NewEngine(t, opts...) }
+
+// Engine construction options; see the core package for details.
+var (
+	// WithWorkers caps the engine's goroutine fan-out for distance scans
+	// and index builds (replaces the deprecated micro.MaxScanWorkers
+	// global).
+	WithWorkers = core.WithWorkers
+	// WithIndexCrossover sets the candidate-set size at which the engine's
+	// neighbor searches switch to the k-d tree index (replaces the
+	// deprecated micro.IndexCrossover global).
+	WithIndexCrossover = core.WithIndexCrossover
+	// WithProgress installs a hook receiving coarse progress events from
+	// the partition and merge loops.
+	WithProgress = core.WithProgress
 )
 
 // Anonymization algorithms.
@@ -103,8 +160,12 @@ const (
 	MondrianBaseline = core.MondrianBaseline
 )
 
-// Anonymize runs the configured algorithm and returns the release and its
-// diagnostics; see core.Anonymize.
+// Anonymize runs the configured algorithm over a throwaway engine and
+// returns the release and its diagnostics; see core.Anonymize. Every call
+// rebuilds the prepared substrate, so parameter sweeps should use New and
+// Engine.Run instead; results are bit-identical either way.
+//
+// Deprecated: use New and Engine.Run. Anonymize remains fully supported.
 func Anonymize(t *Table, cfg Config) (*Result, error) { return core.Anonymize(t, cfg) }
 
 // ParseAlgorithm resolves a command-line algorithm name.
