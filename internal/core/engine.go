@@ -64,11 +64,17 @@ type Progress struct {
 // Option configures an Engine at construction.
 type Option func(*Engine)
 
-// WithWorkers caps the goroutine fan-out of this engine's parallel
-// distance scans and spatial-index builds. It replaces writing the
-// deprecated micro.MaxScanWorkers global, which races across concurrent
-// runs; results are bit-identical for any value. Values < 1 keep the
-// process-wide default.
+// WithWorkers caps the goroutine fan-out of every parallel seam of this
+// engine: the distance scans and spatial-index builds, and — since the
+// partition loops were sharded — Algorithm 1's merge partner scans,
+// Algorithm 2's swap-candidate scoring and per-cluster distance fills,
+// Algorithm 3's per-subset draws and SABRE's per-bucket draws. It replaces
+// writing the deprecated micro.MaxScanWorkers global, which races across
+// concurrent runs. Every seam reduces in a fixed order on the serial tie
+// keys, so partitions and releases are bit-identical for any value (the
+// worker-sweep and golden conformance tests pin this); set 1 to force
+// fully serial execution. Values < 1 keep the process-wide default
+// (GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.tun.Workers = n }
 }

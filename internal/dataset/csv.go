@@ -39,6 +39,20 @@ func (t *Table) WriteCSV(w io.Writer) error {
 				rec[c] = strconv.FormatFloat(t.cols[c][r], 'g', -1, 64)
 			}
 		}
+		if len(rec) == 1 && rec[0] == "" {
+			// A single empty field serializes to a blank line, which CSV
+			// readers (including ours) skip as a non-record — silently
+			// dropping the row on a round trip. Emit an explicitly quoted
+			// empty field instead; the reader decodes it back to "".
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return fmt.Errorf("dataset: writing row %d: %w", r, err)
+			}
+			continue
+		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("dataset: writing row %d: %w", r, err)
 		}

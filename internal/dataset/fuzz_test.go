@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// Native fuzz targets for the parsing surfaces: arbitrary input must never
+// panic, and every accepted input must satisfy the package invariants
+// (valid schema, canonical round-trip). Seed corpora live in testdata/fuzz;
+// CI runs a short -fuzz smoke leg on top of the committed seeds.
+
+// FuzzReadCSV feeds arbitrary bytes to the two-header CSV reader. Accepted
+// tables must validate and round-trip through WriteCSV canonically: writing
+// the parsed table and re-reading it yields the same schema and the same
+// cell bits.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("AGE,ZIP,DIAG\nquasi-identifier:numeric,quasi-identifier:numeric,confidential:categorical\n34,90001,flu\n41,90002,cold\n"))
+	f.Add([]byte("X,S\nquasi-identifier,confidential\n1,2\n"))
+	f.Add([]byte("A,B\nquasi-identifier:numeric,confidential:numeric\nNaN,+Inf\n-0,1e300\n"))
+	f.Add([]byte("bad"))
+	f.Add([]byte("A\nconfidential:categorical\n\"quo,ted\"\n"))
+	// Regression seed: a lone empty categorical label used to serialize as
+	// a blank line and vanish on the round trip.
+	f.Add([]byte("0\nConfidentiAl:CAt\n\"\"\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Tables without both a quasi-identifier and a confidential attribute
+		// parse but do not Validate; the algorithms re-validate at their own
+		// entry points, so acceptance here only requires structural
+		// soundness (enforced by NewSchema) and a canonical round-trip.
+		var out bytes.Buffer
+		if err := tbl.WriteCSV(&out); err != nil {
+			t.Fatalf("writing parsed table: %v", err)
+		}
+		again, err := ReadCSV(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written table: %v\ncsv:\n%s", err, out.String())
+		}
+		if again.Len() != tbl.Len() || again.Width() != tbl.Width() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				tbl.Len(), tbl.Width(), again.Len(), again.Width())
+		}
+		for r := 0; r < tbl.Len(); r++ {
+			for c := 0; c < tbl.Width(); c++ {
+				a, b := tbl.Value(r, c), again.Value(r, c)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("round trip changed cell (%d,%d): %v -> %v", r, c, a, b)
+				}
+				if tbl.Schema().Attr(c).Kind == Categorical && tbl.Label(r, c) != again.Label(r, c) {
+					t.Fatalf("round trip changed label (%d,%d): %q -> %q",
+						r, c, tbl.Label(r, c), again.Label(r, c))
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseRoleKind exercises the schema descriptor vocabulary: parsing
+// must never panic, and every accepted value must round-trip through its
+// String form.
+func FuzzParseRoleKind(f *testing.F) {
+	f.Add("quasi-identifier")
+	f.Add("confidential:categorical")
+	f.Add("identifier")
+	f.Add("numeric")
+	f.Add(":::")
+	f.Fuzz(func(t *testing.T, s string) {
+		if role, err := ParseRole(s); err == nil {
+			back, err := ParseRole(role.String())
+			if err != nil || back != role {
+				t.Fatalf("role %q does not round-trip: %v %v", s, back, err)
+			}
+		}
+		if kind, err := ParseKind(s); err == nil {
+			back, err := ParseKind(kind.String())
+			if err != nil || back != kind {
+				t.Fatalf("kind %q does not round-trip: %v %v", s, back, err)
+			}
+		}
+	})
+}

@@ -490,7 +490,7 @@ func (h *Hist) EMDSwap(out, in int) float64 {
 		if s.nominal {
 			return h.tvSwap(ob, ib)
 		}
-		if len(h.occ)*occFlatFactor >= s.m {
+		if !h.usesRunDecomposition() {
 			total := h.absDevFlat(ob, ib, int64(h.size))
 			return float64(total) / (float64(s.n) * float64(h.size) * float64(s.m-1))
 		}
@@ -622,6 +622,33 @@ func (h *Hist) AbsDev() int64 {
 	return h.absDev
 }
 
+// usesRunDecomposition reports whether ordered same-size swap queries on
+// the current histogram state take the run-decomposition path (which
+// lazily builds the per-size crossing cache) rather than the flat O(m)
+// walk. It is the single source of truth for that branch — shared by the
+// query paths and WarmSwapCache so the warmed caches always cover exactly
+// the caches a query may build.
+func (h *Hist) usesRunDecomposition() bool {
+	return len(h.occ)*occFlatFactor < h.space.m
+}
+
+// WarmSwapCache forces the lazy caches a swap query may otherwise build on
+// first use — the deviation numerator and the per-size crossing table — so
+// that subsequent EMDSwap/EMDSwapAbsDev calls against the *unchanged*
+// histogram are pure reads. That is the concurrency contract of Algorithm
+// 2's parallel eviction scoring: warm once on the owning goroutine, then
+// fan out read-only swap evaluations; any mutation (Add/Remove/Swap/Merge)
+// ends the read-only phase.
+func (h *Hist) WarmSwapCache() {
+	if h.space.m < 2 || h.size == 0 {
+		return
+	}
+	h.ensureAbsDev()
+	if !h.space.nominal && h.usesRunDecomposition() {
+		h.ensureCross()
+	}
+}
+
 // EMDSwapAbsDev is EMDSwap restricted to true same-size swaps (out and in
 // both records), returning the integer deviation numerator of the post-swap
 // EMD instead of the quotient. It lets a caller that holds a single space
@@ -641,7 +668,7 @@ func (h *Hist) EMDSwapAbsDev(out, in int) int64 {
 	if s.nominal {
 		return h.tvSwapNum(ob, ib)
 	}
-	if len(h.occ)*occFlatFactor >= s.m {
+	if !h.usesRunDecomposition() {
 		return h.absDevFlat(ob, ib, int64(h.size))
 	}
 	return h.orderedSwapNum(ob, ib)

@@ -1,0 +1,208 @@
+package emd
+
+import (
+	"testing"
+)
+
+// Native fuzz targets for the EMD geometry invariants. Inputs are byte
+// strings decoded into small integer value domains (heavy bin collisions,
+// the regime where the incremental machinery earns its keep); every target
+// checks exact equalities, since the package computes on integer prefix
+// geometry where incremental and batch results are bit-identical by
+// contract. Seed corpora live in testdata/fuzz; CI runs a short -fuzz
+// smoke leg on top of the committed seeds.
+
+// fuzzValues decodes bytes into a bounded value slice: each byte becomes a
+// value in a small domain so histograms share bins constantly.
+func fuzzValues(data []byte, max int) []float64 {
+	if len(data) > max {
+		data = data[:max]
+	}
+	vals := make([]float64, 0, len(data))
+	for _, b := range data {
+		vals = append(vals, float64(b%17))
+	}
+	return vals
+}
+
+// FuzzHistIncremental drives a histogram through an arbitrary Add/Remove/
+// Swap walk and pins every step to the batch rebuild: EMD, AbsDev and
+// same-size swap queries must equal the from-scratch evaluation exactly.
+func FuzzHistIncremental(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{0, 1, 2, 3})
+	f.Add([]byte{5, 5, 5, 9, 9, 0, 3, 3, 3, 3}, []byte{7, 7, 1, 0, 9, 4})
+	f.Add([]byte{200, 14, 14, 3}, []byte{2, 2, 2})
+	f.Fuzz(func(t *testing.T, valBytes, ops []byte) {
+		vals := fuzzValues(valBytes, 64)
+		if len(vals) < 2 {
+			return
+		}
+		s, err := NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(vals)
+		in := make([]bool, n)
+		var rows []int
+		h := s.NewHist()
+		rebuildRows := func() []int {
+			out := make([]int, 0, len(rows))
+			for r := 0; r < n; r++ {
+				if in[r] {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+		for _, op := range ops {
+			rec := int(op) % n
+			switch {
+			case !in[rec]:
+				h.Add(rec)
+				in[rec] = true
+			case len(rows) >= 0 && in[rec]:
+				// Before removing, exercise the virtual swap query against
+				// a batch rebuild with the swap applied.
+				other := (rec + 1 + int(op)/7) % n
+				if !in[other] {
+					got := h.EMDSwap(rec, other)
+					cur := rebuildRows()
+					swapped := make([]int, 0, len(cur))
+					for _, r := range cur {
+						if r != rec {
+							swapped = append(swapped, r)
+						}
+					}
+					swapped = append(swapped, other)
+					if want := s.EMDOf(swapped); got != want {
+						t.Fatalf("EMDSwap(%d,%d) = %v, batch rebuild = %v", rec, other, got, want)
+					}
+					gotNum := h.EMDSwapAbsDev(rec, other)
+					if want := s.HistOf(swapped).AbsDev(); gotNum != want {
+						t.Fatalf("EMDSwapAbsDev(%d,%d) = %d, batch rebuild = %d", rec, other, gotNum, want)
+					}
+				}
+				h.Remove(rec)
+				in[rec] = false
+			}
+			rows = rebuildRows()
+			if got, want := h.EMD(), s.EMDOf(rows); got != want {
+				t.Fatalf("incremental EMD %v, batch %v (rows %v)", got, want, rows)
+			}
+			if got, want := h.AbsDev(), s.HistOf(rows).AbsDev(); got != want {
+				t.Fatalf("incremental AbsDev %d, batch %d (rows %v)", got, want, rows)
+			}
+		}
+		// Two-record closed form against the general path.
+		if n >= 2 {
+			a, b := 0, n/2
+			got := s.TwoRecordAbsDev(s.Bin(a), s.Bin(b))
+			if want := s.HistOf([]int{a, b}).AbsDev(); got != want {
+				t.Fatalf("TwoRecordAbsDev = %d, HistOf.AbsDev = %d", got, want)
+			}
+		}
+	})
+}
+
+// FuzzDistanceSymmetry pins the closed-form EMD (and its nominal variant)
+// to its metric symmetry: Distance(p, q) == Distance(q, p) exactly, since
+// negation is exact in IEEE-754.
+func FuzzDistanceSymmetry(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{10, 0, 0, 5}, []byte{0, 0, 10, 5})
+	f.Fuzz(func(t *testing.T, pb, qb []byte) {
+		m := len(pb)
+		if len(qb) < m {
+			m = len(qb)
+		}
+		if m < 2 || m > 64 {
+			return
+		}
+		var psum, qsum float64
+		p := make([]float64, m)
+		q := make([]float64, m)
+		for i := 0; i < m; i++ {
+			p[i] = float64(pb[i])
+			q[i] = float64(qb[i])
+			psum += p[i]
+			qsum += q[i]
+		}
+		if psum == 0 || qsum == 0 {
+			return
+		}
+		for i := range p {
+			p[i] /= psum
+			q[i] /= qsum
+		}
+		ab, err1 := Distance(p, q)
+		ba, err2 := Distance(q, p)
+		if (err1 == nil) != (err2 == nil) || ab != ba {
+			t.Fatalf("Distance not symmetric: %v/%v vs %v/%v", ab, err1, ba, err2)
+		}
+		nab, err1 := NominalDistance(p, q)
+		nba, err2 := NominalDistance(q, p)
+		if (err1 == nil) != (err2 == nil) || nab != nba {
+			t.Fatalf("NominalDistance not symmetric: %v/%v vs %v/%v", nab, err1, nba, err2)
+		}
+	})
+}
+
+// FuzzSpaceExtend pins the incremental epoch extension to the cold rebuild:
+// Extend over any split of a value stream must equal NewSpace over the
+// concatenation — same bins, same record mapping, same EMDs, same
+// two-record closed forms.
+func FuzzSpaceExtend(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{5, 6})
+	f.Add([]byte{9, 9, 9}, []byte{9, 9})
+	f.Add([]byte{3, 1, 4}, []byte{1, 5, 9, 2, 6, 200})
+	f.Fuzz(func(t *testing.T, baseBytes, tailBytes []byte) {
+		base := fuzzValues(baseBytes, 48)
+		tail := fuzzValues(tailBytes, 48)
+		if len(base) == 0 {
+			return
+		}
+		s1, err := NewSpace(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := s1.Extend(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := append(append([]float64(nil), base...), tail...)
+		cold, err := NewSpace(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ext.N() != cold.N() || ext.Bins() != cold.Bins() {
+			t.Fatalf("extend shape (%d,%d) vs rebuild (%d,%d)",
+				ext.N(), ext.Bins(), cold.N(), cold.Bins())
+		}
+		for r := 0; r < cold.N(); r++ {
+			if ext.Bin(r) != cold.Bin(r) {
+				t.Fatalf("record %d: extend bin %d, rebuild bin %d", r, ext.Bin(r), cold.Bin(r))
+			}
+		}
+		for b := 0; b < cold.Bins(); b++ {
+			if ext.Value(b) != cold.Value(b) || ext.DatasetMass(b) != cold.DatasetMass(b) {
+				t.Fatalf("bin %d: extend (%v,%v), rebuild (%v,%v)",
+					b, ext.Value(b), ext.DatasetMass(b), cold.Value(b), cold.DatasetMass(b))
+			}
+		}
+		// A representative subset EMD and the two-record closed form.
+		subset := make([]int, 0, cold.N())
+		for r := 0; r < cold.N(); r += 2 {
+			subset = append(subset, r)
+		}
+		if len(subset) > 0 {
+			if got, want := ext.EMDOf(subset), cold.EMDOf(subset); got != want {
+				t.Fatalf("subset EMD: extend %v, rebuild %v", got, want)
+			}
+		}
+		for a := 0; a < cold.Bins(); a++ {
+			if got, want := ext.TwoRecordAbsDev(a, cold.Bins()-1), cold.TwoRecordAbsDev(a, cold.Bins()-1); got != want {
+				t.Fatalf("TwoRecordAbsDev(%d,last): extend %d, rebuild %d", a, got, want)
+			}
+		}
+	})
+}

@@ -96,6 +96,9 @@ func kdTrialPoints(rng *rand.Rand, trial int) ([][]float64, int) {
 // build orders (permuted orders exercise the rank-based tie-breaking that
 // the confidential-ranking subsets of Algorithm 3 and SABRE rely on).
 func TestKDTreeMatchesLinearReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kd-tree vs linear reference: slow property test")
+	}
 	rng := rand.New(rand.NewSource(20160314))
 	for trial := 0; trial < 120; trial++ {
 		pts, n := kdTrialPoints(rng, trial)

@@ -133,6 +133,12 @@ const parallelScanMin = 8192
 // process-wide default.
 var MaxScanWorkers = runtime.GOMAXPROCS(0)
 
+// Workers returns the sanitized worker budget of this matrix (at least 1):
+// its own tuning when set, the package default otherwise. It is the fan-out
+// cap the partition loops share with the distance scans, so one engine
+// option (core.WithWorkers) tunes every parallel seam over the matrix.
+func (m *Matrix) Workers() int { return m.workerBudget() }
+
 // workerBudget returns the sanitized worker cap for this matrix: its own
 // tuning when set, the package default otherwise.
 func (m *Matrix) workerBudget() int {
@@ -145,6 +151,13 @@ func (m *Matrix) workerBudget() int {
 	}
 	return w
 }
+
+// ScanWorkers returns the fan-out a row scan of the given size should use
+// over this matrix: the worker budget above the parallel-scan floor, 1
+// below it. External scan loops (e.g. the jump engine's distance fills)
+// route through it so the engagement floor stays one knob shared with the
+// matrix's own scans.
+func (m *Matrix) ScanWorkers(nRows int) int { return m.scanWorkers(nRows) }
 
 // scanWorkers returns the fan-out for a parallel scan over nRows.
 func (m *Matrix) scanWorkers(nRows int) int {

@@ -3,6 +3,8 @@ package micro
 import (
 	"math"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // Searcher routes the partition loops' hot neighbor queries — Farthest,
@@ -18,6 +20,13 @@ import (
 // tracks liveness itself via Remove). The slice must always contain exactly
 // the rows not yet removed, in build order with removed rows dropped —
 // precisely what FilterRows maintains.
+//
+// Shard handout: a single Searcher is not safe for concurrent use (it owns
+// mutable liveness and stream scratch), but distinct Searchers over the
+// same Matrix are — the Matrix is immutable after tuning and the shared
+// index cache serializes master acquisition. The sharded partition loops
+// rely on exactly this: one Searcher per disjoint row shard (rank subset,
+// bucket pool), each owned by one worker at a time.
 type Searcher struct {
 	m    *Matrix
 	tree *KDTree
@@ -179,6 +188,16 @@ func (m *Matrix) NewSparseSearcher(rows []int) *Searcher {
 // pending a lazy build).
 func (s *Searcher) Indexed() bool { return s.tree != nil || s.buildRows != nil }
 
+// StreamIndexed reports whether Stream would traverse the k-d tree rather
+// than run in linear mode — true only below the wide-query dimensionality
+// limit with an index available. Callers with their own ordering structures
+// (e.g. Algorithm 2's interval-jump refinement) use it to take over exactly
+// the regime where a stream would pay for a full linear distance pass
+// anyway.
+func (s *Searcher) StreamIndexed() bool {
+	return s.m.dim <= kdWideDimLimit && s.Indexed()
+}
+
 // Remove deletes rows from the index. Removals issued before the lazy build
 // are deferred and replayed; unindexed Searchers ignore them — the caller's
 // candidate slice is the only liveness state the linear scans need.
@@ -287,18 +306,26 @@ func (s *Searcher) Stream(rows []int, p []float64) *Stream {
 		s.linHeap = make([]distRow, len(rows))
 	}
 	ds := s.linBuf[:len(rows)]
-	for i, r := range rows {
-		ds[i] = distRow{d: s.m.RowDist2(r, p), row: r}
-	}
+	// The distance fill fans out across the matrix's worker budget for
+	// large candidate sets (each chunk writes disjoint slots of the same
+	// values, so the result is bit-identical at any worker count).
+	s.m.fillDists(ds, rows, p)
 	st.kd.t = nil
 	st.total = len(rows)
 	if s.drainStreak >= presortStreak && len(rows) > 2*streamDrainAt {
 		// Recent streams all blew through their lazy heads: skip the heap
-		// and radix-sort everything up front.
+		// and radix-sort everything up front. The entry conversion is
+		// chunk-parallel like the fill; the radix passes stay serial — at
+		// partition-loop drain sizes the per-digit offset synchronization
+		// would cost more than the passes themselves.
 		rem := growDrain(&s.drainA, len(ds))
-		for i, e := range ds {
-			rem[i] = drainEntry{d: e.d, tie: int32(e.row), row: int32(e.row)}
-		}
+		w := s.m.scanWorkers(len(ds))
+		par.Chunks(len(ds), w, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := ds[i]
+				rem[i] = drainEntry{d: e.d, tie: int32(e.row), row: int32(e.row)}
+			}
+		})
 		st.rest = st.finishDrain(rem, false)
 		st.presorted = true
 		return st

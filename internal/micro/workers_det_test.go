@@ -8,6 +8,9 @@ import (
 
 // Determinism across MaxScanWorkers values, including the parallel kd build.
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scan worker sweep: slow property test")
+	}
 	rng := rand.New(rand.NewSource(5))
 	n := 9000
 	pts := make([][]float64, n)

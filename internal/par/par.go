@@ -1,5 +1,8 @@
-// Package par holds the small concurrency helpers shared by the benchmark
-// drivers.
+// Package par holds the small concurrency primitives shared by the
+// partition loops and the benchmark drivers: a bounded one-shot fan-out
+// (Cells), a reusable fixed-size worker pool (Pool) for loops that fan out
+// thousands of times, and order-stable argmin reductions whose results are
+// bit-identical to the serial left-to-right scan at any worker count.
 package par
 
 import "sync"
@@ -31,4 +34,206 @@ func Cells(n, workers int, cell func(i int)) {
 	}
 	close(work)
 	wg.Wait()
+}
+
+// Chunks splits [0, n) into at most workers near-equal contiguous chunks and
+// evaluates fn(w, lo, hi) for each on its own goroutine, returning when all
+// are done. Chunk boundaries depend only on (n, workers), so any per-chunk
+// result written to slot w is deterministic. workers < 1 is treated as 1; a
+// single chunk runs on the calling goroutine with no fan-out at all, so
+// serial callers pay nothing.
+func Chunks(n, workers int, fn func(w, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, w*n/workers, (w+1)*n/workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Pool is a reusable fixed-size worker pool for loops that fan out many
+// times (one fan-out per partition round, say): the goroutines are spawned
+// once and fed through a channel, so a round pays only the channel handoff
+// instead of a spawn per task. Run blocks until every task of the round is
+// done, making rounds strictly sequential; tasks within a round must touch
+// disjoint state (their own shard, their own result slot), which keeps the
+// outcome deterministic regardless of scheduling.
+//
+// A Pool is owned by a single running goroutine: Run must not be called
+// concurrently. Close releases the workers; a closed pool must not be used
+// again.
+type Pool struct {
+	workers int
+	work    chan poolTask
+	wg      sync.WaitGroup
+}
+
+type poolTask struct {
+	i    int
+	fn   func(int)
+	done *sync.WaitGroup
+}
+
+// NewPool spawns a pool of the given size. Sizes < 2 return a degenerate
+// pool whose Run executes inline on the caller — the serial fallback every
+// gated parallel seam relies on, costing nothing when tuning says one
+// worker.
+func NewPool(workers int) *Pool {
+	p := &Pool{workers: workers}
+	if workers < 2 {
+		return p
+	}
+	p.work = make(chan poolTask)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.work {
+				t.fn(t.i)
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the pool's worker count (at least 1).
+func (p *Pool) Size() int {
+	if p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run evaluates task(i) for i in [0, n) across the pool and returns when
+// all are done. Tasks must write only their own result slots. On a
+// degenerate (serial) pool the tasks run inline in index order.
+func (p *Pool) Run(n int, task func(i int)) {
+	if p.work == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		p.work <- poolTask{i: i, fn: task, done: &done}
+	}
+	done.Wait()
+}
+
+// Close shuts the pool's workers down. Safe on a degenerate pool.
+func (p *Pool) Close() {
+	if p.work != nil {
+		close(p.work)
+		p.wg.Wait()
+		p.work = nil
+	}
+}
+
+// ArgminFloat64 returns the index minimizing eval(i) over [0, n), breaking
+// ties toward the lowest index — exactly the winner of the serial
+// left-to-right scan that keeps the first strict improvement. Indices the
+// caller wants skipped must evaluate to +Inf, which only loses to real
+// candidates when real (finite) candidates exist — as in every partition
+// loop, whose costs are finite. eval must never return NaN: a NaN poisons
+// whichever scan first accepts it (every later < comparison is false), so
+// the winner would depend on which chunk held it — breaking the
+// worker-count invariance this package guarantees. n = 0 returns -1. Chunk
+// boundaries and the chunk-ordered combine depend only on (n, workers), so
+// the result is bit-identical at any worker count. eval must be safe for
+// concurrent calls
+// on distinct indices.
+func ArgminFloat64(n, workers int, eval func(i int) float64) int {
+	if workers < 2 || n < 2 {
+		best, bestV := -1, 0.0
+		for i := 0; i < n; i++ {
+			if v := eval(i); best < 0 || v < bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	if workers > n {
+		workers = n
+	}
+	bestIdx := make([]int, workers)
+	bestVal := make([]float64, workers)
+	Chunks(n, workers, func(w, lo, hi int) {
+		best, bestV := -1, 0.0
+		for i := lo; i < hi; i++ {
+			if v := eval(i); best < 0 || v < bestV {
+				best, bestV = i, v
+			}
+		}
+		bestIdx[w], bestVal[w] = best, bestV
+	})
+	best, bestV := -1, 0.0
+	for w := 0; w < workers; w++ {
+		if bestIdx[w] >= 0 && (best < 0 || bestVal[w] < bestV) {
+			best, bestV = bestIdx[w], bestVal[w]
+		}
+	}
+	return best
+}
+
+// ArgminInt64 is ArgminFloat64 over int64 costs with an explicit skip
+// predicate: indices where skip(i) is true never win. It returns -1 when
+// every index is skipped.
+func ArgminInt64(n, workers int, skip func(i int) bool, eval func(i int) int64) int {
+	if workers < 2 || n < 2 {
+		best := -1
+		var bestV int64
+		for i := 0; i < n; i++ {
+			if skip != nil && skip(i) {
+				continue
+			}
+			if v := eval(i); best < 0 || v < bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	if workers > n {
+		workers = n
+	}
+	bestIdx := make([]int, workers)
+	bestVal := make([]int64, workers)
+	Chunks(n, workers, func(w, lo, hi int) {
+		best := -1
+		var bestV int64
+		for i := lo; i < hi; i++ {
+			if skip != nil && skip(i) {
+				continue
+			}
+			if v := eval(i); best < 0 || v < bestV {
+				best, bestV = i, v
+			}
+		}
+		bestIdx[w], bestVal[w] = best, bestV
+	})
+	best := -1
+	var bestV int64
+	for w := 0; w < workers; w++ {
+		if bestIdx[w] >= 0 && (best < 0 || bestVal[w] < bestV) {
+			best, bestV = bestIdx[w], bestVal[w]
+		}
+	}
+	return best
 }

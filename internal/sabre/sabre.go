@@ -36,6 +36,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/emd"
 	"repro/internal/micro"
+	"repro/internal/par"
 )
 
 // Result is the outcome of SABRE anonymization.
@@ -273,6 +274,13 @@ func worstECBound(n, m int, buckets []bucket) float64 {
 	return within + mismatch*0.5
 }
 
+// sabreDrawParMinRows is the mean pool size at or above which the
+// per-bucket draws of one equivalence class fan out across the matrix
+// worker budget. Below it the pool handoff costs more than the draws; both
+// sides produce identical classes. A variable so the worker-sweep tests can
+// force the parallel path on small tables.
+var sabreDrawParMinRows = 256
+
 // redistribute forms the equivalence classes: MDAV-style seeds (the record
 // farthest from the centroid of the remaining records), each class drawing
 // its proportional share of QI-nearest records from every bucket. The
@@ -282,6 +290,13 @@ func worstECBound(n, m int, buckets []bucket) float64 {
 // k-d tree over the QI cube above the crossover and fall back to the linear
 // scans below it. The centroid of the remaining records is maintained as a
 // running sum instead of a per-class rescan.
+//
+// The per-bucket draws of one class are independent shards — each touches
+// only its own pool slice and Searcher — so they run on a reusable worker
+// pool (repro/internal/par) when the pools are large enough to pay for the
+// handoff. Each bucket's draws land in a fixed slot and are concatenated in
+// bucket order, so the class is bit-identical to the serial loop's at any
+// worker count (micro.Matrix.Workers, the engine's WithWorkers budget).
 func redistribute(ctx context.Context, t *dataset.Table, mat *micro.Matrix, order []int, buckets []bucket, k int) ([]micro.Cluster, error) {
 	n := t.Len()
 	m := ecSize(n, k, buckets)
@@ -299,6 +314,12 @@ func redistribute(ctx context.Context, t *dataset.Table, mat *micro.Matrix, orde
 	rc := micro.NewRunningCentroid(mat)
 	scratch := make([]bool, n)
 	counts := drawCounts(n, m, buckets)
+	pool := par.NewPool(1)
+	if w := mat.Workers(); w >= 2 && len(buckets) >= 2 && n/len(buckets) >= sabreDrawParMinRows {
+		pool = par.NewPool(w)
+	}
+	defer pool.Close()
+	drawn := make([][]int, len(buckets))
 	var clusters []micro.Cluster
 	for {
 		if err := ctx.Err(); err != nil {
@@ -324,18 +345,22 @@ func redistribute(ctx context.Context, t *dataset.Table, mat *micro.Matrix, orde
 		}
 		// Seed: record farthest from the centroid of all remaining records.
 		seed := global.Farthest(alive, rc.CentroidOf(alive))
-		rows := make([]int, 0, m)
-		for i := range pools {
+		pool.Run(len(pools), func(i int) {
 			take := counts[i]
 			if take > len(pools[i]) {
 				take = len(pools[i])
 			}
+			drawn[i] = drawn[i][:0]
 			for j := 0; j < take; j++ {
 				x := poolSearch[i].Nearest(pools[i], mat.Row(seed))
 				pools[i] = removeOne(pools[i], x)
 				poolSearch[i].RemoveOne(x)
-				rows = append(rows, x)
+				drawn[i] = append(drawn[i], x)
 			}
+		})
+		rows := make([]int, 0, m)
+		for i := range drawn {
+			rows = append(rows, drawn[i]...)
 		}
 		alive = micro.FilterRows(alive, rows, scratch)
 		rc.RemoveRows(rows)

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/micro"
+	"repro/internal/par"
 )
 
 // Algorithm1 implements the paper's Algorithm 1: t-closeness through
@@ -244,24 +246,37 @@ func (p *problem) mergeUntilTClosePolicy(clusters []micro.Cluster, policy MergeP
 		if worst < 0 || worstEMD <= p.t {
 			break
 		}
-		// Choose the merge partner per policy.
-		closest, closestD := -1, 0.0
-		for j := range st.rows {
+		// Choose the merge partner per policy. The candidate evaluations
+		// are independent (cached centroids are read-only; the greedy
+		// policy clones the worst cluster's histogram per trial), so for
+		// large live sets they fan out across the worker budget with an
+		// order-stable argmin — dead slots evaluate to +Inf and real costs
+		// are finite, so the reduction picks exactly the serial scan's
+		// first strict minimum.
+		closest := -1
+		eval := func(j int) float64 {
 			if !st.alive[j] || j == worst {
-				continue
+				return math.Inf(1)
 			}
-			var d float64
 			switch policy {
 			case MergeGreedyEMD:
 				trial := st.hists[worst][0].Clone()
 				trial.Merge(st.hists[j][0])
-				d = trial.EMD()
+				return trial.EMD()
 			default: // MergeNearestQI: the paper's policy
-				d = micro.Dist2(st.centroid[worst], st.centroid[j])
+				return micro.Dist2(st.centroid[worst], st.centroid[j])
 			}
-			if closest < 0 || d < closestD {
-				closest, closestD = j, d
-			}
+		}
+		w := 1
+		if p.workers >= 2 && st.nAlive >= mergePartnerParMin {
+			w = p.workers
+		}
+		closest = par.ArgminFloat64(len(st.rows), w, eval)
+		if closest >= 0 && (!st.alive[closest] || closest == worst) {
+			// Only possible when every candidate evaluated to +Inf, i.e.
+			// no live partner exists (nAlive <= 1, already excluded by the
+			// loop condition); kept as a guard.
+			closest = -1
 		}
 		if closest < 0 {
 			break

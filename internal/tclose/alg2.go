@@ -1,8 +1,12 @@
 package tclose
 
 import (
+	"math"
+
 	"repro/internal/dataset"
+	"repro/internal/emd"
 	"repro/internal/micro"
+	"repro/internal/par"
 )
 
 // Algorithm2 implements the paper's Algorithm 2 (k-anonymity-first
@@ -96,29 +100,39 @@ func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int, error) {
 	}
 	rc := micro.NewRunningCentroid(p.mat)
 	search := p.mat.NewSearcher(avail)
+	// The paper's headline configuration (k = 2, one ordered confidential
+	// attribute) runs on the interval-jump engine instead of the candidate
+	// stream whenever the stream would be linear-mode anyway (see
+	// swapjump.go): same partitions, no per-cluster distance sort.
+	var jump *swapJump
+	if p.k == 2 && len(p.spaces) == 1 && !p.spaces[0].Nominal() && !search.StreamIndexed() {
+		jump = p.newSwapJump()
+	}
 	var clusters []micro.Cluster
 	swaps := 0
+	extract := func(x int) []int {
+		c, s := p.generateCluster(x, avail, search, jump)
+		swaps += s
+		avail = micro.FilterRows(avail, c, p.rowScratch)
+		if jump != nil {
+			jump.filter(c, p.rowScratch)
+		}
+		rc.RemoveRows(c)
+		search.Remove(c)
+		clusters = append(clusters, micro.Cluster{Rows: c})
+		return c
+	}
 	for len(avail) > 0 {
 		if err := p.interrupted(); err != nil {
 			return nil, 0, err
 		}
 		x0 := search.Farthest(avail, rc.CentroidOf(avail))
-		c, s := p.generateCluster(x0, avail, search)
-		swaps += s
-		avail = micro.FilterRows(avail, c, p.rowScratch)
-		rc.RemoveRows(c)
-		search.Remove(c)
-		clusters = append(clusters, micro.Cluster{Rows: c})
+		extract(x0)
 		if len(avail) == 0 {
 			break
 		}
 		x1 := search.Farthest(avail, p.mat.Row(x0))
-		c, s = p.generateCluster(x1, avail, search)
-		swaps += s
-		avail = micro.FilterRows(avail, c, p.rowScratch)
-		rc.RemoveRows(c)
-		search.Remove(c)
-		clusters = append(clusters, micro.Cluster{Rows: c})
+		extract(x1)
 		p.reportProgress("partition", n-len(avail), n)
 	}
 	return clusters, swaps, nil
@@ -152,9 +166,12 @@ func (p *problem) kAnonymityFirstPartition() ([]micro.Cluster, int, error) {
 // cluster turns out to consume most of the candidate set — the regime of
 // tight t levels, where nearly every cluster exhausts all candidates without
 // reaching t and the finishing merge step does the rest.
-func (p *problem) generateCluster(x int, avail []int, search *micro.Searcher) (cluster []int, swaps int) {
+func (p *problem) generateCluster(x int, avail []int, search *micro.Searcher, jump *swapJump) (cluster []int, swaps int) {
 	if len(avail) < 2*p.k {
 		return append([]int(nil), avail...), 0
+	}
+	if jump != nil {
+		return p.generateClusterJump(jump, p.mat.Row(x))
 	}
 	stream := search.Stream(avail, p.mat.Row(x))
 	cluster = make([]int, 0, p.k)
@@ -230,18 +247,7 @@ func (p *problem) generateCluster(x int, avail []int, search *micro.Searcher) (c
 			if sigOK && p.rejected.testAndSet(p.sigs[y]) {
 				continue
 			}
-			bestIdx, bestNum := -1, h.AbsDev()
-			if sigOK {
-				p.evaluated.reset()
-			}
-			for i, out := range cluster {
-				if sigOK && p.evaluated.testAndSet(p.sigs[out]) {
-					continue
-				}
-				if d := h.EMDSwapAbsDev(out, y); d < bestNum {
-					bestIdx, bestNum = i, d
-				}
-			}
+			bestIdx := p.scoreEvictionsInt(h, cluster, y, sigOK)
 			if bestIdx >= 0 {
 				h.Swap(cluster[bestIdx], y)
 				cluster[bestIdx] = y
@@ -262,18 +268,7 @@ func (p *problem) generateCluster(x int, avail []int, search *micro.Searcher) (c
 		if sigOK && p.rejected.testAndSet(p.sigs[y]) {
 			continue
 		}
-		bestIdx, bestEMD := -1, cur
-		if sigOK {
-			p.evaluated.reset()
-		}
-		for i, out := range cluster {
-			if sigOK && p.evaluated.testAndSet(p.sigs[out]) {
-				continue
-			}
-			if d := hs.emdSwap(out, y); d < bestEMD {
-				bestIdx, bestEMD = i, d
-			}
-		}
+		bestIdx, bestEMD := p.scoreEvictionsFloat(hs, cluster, y, cur, sigOK)
 		if bestIdx >= 0 {
 			hs.swap(cluster[bestIdx], y)
 			cluster[bestIdx] = y
@@ -285,4 +280,103 @@ func (p *problem) generateCluster(x int, avail []int, search *micro.Searcher) (c
 		}
 	}
 	return cluster, swaps
+}
+
+// scoreEvictionsInt returns the in-cluster eviction index whose swap with
+// candidate y minimizes the post-swap integer deviation numerator, or -1
+// when no swap strictly improves on the cluster's current numerator. Ties
+// break toward the lowest index and duplicate-signature members after the
+// first are skipped — exactly the serial left-to-right scan — and for
+// clusters at or above evictScanParMin the evaluations fan out across the
+// worker budget: the histogram's swap geometry is warmed once on the owning
+// goroutine (emd.Hist.WarmSwapCache), after which every evaluation is a
+// pure read, and the chunk-ordered argmin reduction reproduces the serial
+// winner bit-for-bit.
+func (p *problem) scoreEvictionsInt(h *emd.Hist, cluster []int, y int, sigOK bool) int {
+	if p.workers >= 2 && len(cluster) >= evictScanParMin {
+		var skip func(int) bool
+		if sigOK {
+			mask := p.evictSkipMask(cluster)
+			skip = func(i int) bool { return mask[i] }
+		}
+		h.WarmSwapCache()
+		idx := par.ArgminInt64(len(cluster), p.workers, skip, func(i int) int64 {
+			return h.EMDSwapAbsDev(cluster[i], y)
+		})
+		if idx >= 0 && h.EMDSwapAbsDev(cluster[idx], y) < h.AbsDev() {
+			return idx
+		}
+		return -1
+	}
+	bestIdx, bestNum := -1, h.AbsDev()
+	if sigOK {
+		p.evaluated.reset()
+	}
+	for i, out := range cluster {
+		if sigOK && p.evaluated.testAndSet(p.sigs[out]) {
+			continue
+		}
+		if d := h.EMDSwapAbsDev(out, y); d < bestNum {
+			bestIdx, bestNum = i, d
+		}
+	}
+	return bestIdx
+}
+
+// scoreEvictionsFloat is scoreEvictionsInt for the multi-attribute path,
+// where the post-swap cost is the maximum EMD across the histogram set and
+// comparisons run on floats. It additionally returns the winning cost (the
+// serial loop reuses it as the new current EMD).
+func (p *problem) scoreEvictionsFloat(hs histSet, cluster []int, y int, cur float64, sigOK bool) (int, float64) {
+	if p.workers >= 2 && len(cluster) >= evictScanParMin {
+		var mask []bool
+		if sigOK {
+			mask = p.evictSkipMask(cluster)
+		}
+		for _, h := range hs {
+			h.WarmSwapCache()
+		}
+		idx := par.ArgminFloat64(len(cluster), p.workers, func(i int) float64 {
+			if mask != nil && mask[i] {
+				return math.Inf(1)
+			}
+			return hs.emdSwap(cluster[i], y)
+		})
+		if idx >= 0 && (mask == nil || !mask[idx]) {
+			if d := hs.emdSwap(cluster[idx], y); d < cur {
+				return idx, d
+			}
+		}
+		return -1, cur
+	}
+	bestIdx, bestEMD := -1, cur
+	if sigOK {
+		p.evaluated.reset()
+	}
+	for i, out := range cluster {
+		if sigOK && p.evaluated.testAndSet(p.sigs[out]) {
+			continue
+		}
+		if d := hs.emdSwap(out, y); d < bestEMD {
+			bestIdx, bestEMD = i, d
+		}
+	}
+	return bestIdx, bestEMD
+}
+
+// evictSkipMask marks duplicate-signature eviction candidates (every
+// occurrence of a signature after its first), the same pruning the serial
+// scan applies via the evaluated set, built serially so the parallel
+// evaluations never touch shared memo state. The returned slice is scratch
+// reused by the next call.
+func (p *problem) evictSkipMask(cluster []int) []bool {
+	if cap(p.evictSkip) < len(cluster) {
+		p.evictSkip = make([]bool, len(cluster))
+	}
+	p.evictSkip = p.evictSkip[:len(cluster)]
+	p.evaluated.reset()
+	for i, out := range cluster {
+		p.evictSkip[i] = p.evaluated.testAndSet(p.sigs[out])
+	}
+	return p.evictSkip
 }

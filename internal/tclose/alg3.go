@@ -4,6 +4,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/emd"
 	"repro/internal/micro"
+	"repro/internal/par"
 )
 
 // Algorithm3 implements the paper's Algorithm 3 (t-closeness-first
@@ -174,13 +175,31 @@ func (p *problem) tClosenessFirstPartition(k int) ([]micro.Cluster, error) {
 		subSearch[i].RemoveOne(x)
 		return x
 	}
+	// The k per-subset draws of one cluster are independent shards: each
+	// touches only its own subset slice and Searcher, so they run on a
+	// reusable worker pool when the subsets are big enough to pay for the
+	// handoff. Draw results land in fixed slots and are appended in subset
+	// order, so the cluster is identical to the serial loop's at any worker
+	// count (and the pool is degenerate — fully inline — at one worker).
+	pool := par.NewPool(1)
+	if p.workers >= 2 && k >= 2 && base >= alg3DrawParMinRows {
+		pool = par.NewPool(p.workers)
+	}
+	defer pool.Close()
+	drawn := make([]int, k)
 	build := func(seed []float64) micro.Cluster {
 		rows := make([]int, 0, k+1)
-		for i := 0; i < k; i++ {
+		pool.Run(k, func(i int) {
 			if len(subsets[i]) == 0 {
-				continue
+				drawn[i] = -1
+				return
 			}
-			rows = append(rows, take(i, seed))
+			drawn[i] = take(i, seed)
+		})
+		for i := 0; i < k; i++ {
+			if drawn[i] >= 0 {
+				rows = append(rows, drawn[i])
+			}
 		}
 		// Extra record: while some subset still holds more records than the
 		// clusters left to build, it must shed one extra now. Take it from

@@ -24,6 +24,9 @@ func withCrossover(t *testing.T, c int, f func()) {
 }
 
 func TestAlgorithm2IndexMatchesScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index vs scan sweep: slow property test")
+	}
 	tbl := synth.PatientDischarge(700, 5)
 	for _, k := range []int{1, 2, 4} {
 		for _, tl := range []float64{0.04, 0.15, 0.3} {

@@ -1,0 +1,96 @@
+package tclose
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emd"
+)
+
+// TestJumpSkipMonotonicity pins the lemma the jump engine's phase-2
+// skipping rests on (see the swapjump.go correctness comment): if bin b
+// does not strictly improve on the current two-record pair, it does not
+// improve on any pair reached by an accepted swap. One step closes the
+// induction, so the test enumerates single accepted swaps exhaustively
+// over randomized small spaces: for every pair (u0, u1), every accepted
+// candidate y (per the engine's exact decision block) and every
+// non-improving bin b, the bin must remain non-improving on the successor
+// pair. Exact integer deviations throughout — a single violation would
+// mean phase 2 could select a candidate the sequential stream had already
+// consumed as rejected, silently diverging the partitions.
+func TestJumpSkipMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive lemma closure: slow property test")
+	}
+	rng := rand.New(rand.NewSource(977))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(60)
+		vals := make([]float64, n)
+		switch trial % 3 {
+		case 0:
+			for i := range vals {
+				vals[i] = float64(rng.Intn(4)) // few bins, heavy ties
+			}
+		case 1:
+			for i := range vals {
+				vals[i] = rng.Float64() // all distinct
+			}
+		default:
+			for i := range vals {
+				vals[i] = float64(rng.Intn(n/2 + 1))
+			}
+		}
+		s, err := emd.NewSpace(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := s.Bins()
+		g := func(a, b int) int64 { return s.TwoRecordAbsDev(a, b) }
+		for u0 := 0; u0 < m; u0++ {
+			for u1 := 0; u1 < m; u1++ {
+				cur := g(u0, u1)
+				for yb := 0; yb < m; yb++ {
+					// The engine's decision block: evicting index 0 keeps
+					// u1, evicting index 1 keeps u0, ties prefer index 0.
+					bestIdx, bestNum := -1, cur
+					if yb != u0 {
+						if d := g(u1, yb); d < bestNum {
+							bestIdx, bestNum = 0, d
+						}
+					}
+					if u1 != u0 && yb != u1 {
+						if d := g(u0, yb); d < bestNum {
+							bestIdx, bestNum = 1, d
+						}
+					}
+					if bestIdx < 0 {
+						continue // rejected candidate: no successor state
+					}
+					n0, n1 := u0, u1
+					if bestIdx == 0 {
+						n0 = yb
+					} else {
+						n1 = yb
+					}
+					for b := 0; b < m; b++ {
+						before := g(u1, b)
+						if v := g(u0, b); v < before {
+							before = v
+						}
+						if before < cur {
+							continue // b was improving before the swap
+						}
+						after := g(n1, b)
+						if v := g(n0, b); v < after {
+							after = v
+						}
+						if after < bestNum {
+							t.Fatalf("monotonicity violated: m=%d pair=(%d,%d) dev=%d, swap y=%d -> pair=(%d,%d) dev=%d, bin %d: before=%d after=%d",
+								m, u0, u1, cur, yb, n0, n1, bestNum, b, before, after)
+						}
+					}
+				}
+			}
+		}
+	}
+}

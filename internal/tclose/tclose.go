@@ -53,11 +53,15 @@
 //     occupied confidential bin of the cluster — not each member — and each
 //     evaluation runs on the exact integer prefix-sum geometry of package
 //     emd with per-size crossing caches: O(occΔ) integer operations with no
-//     binary searches, and for the paper's k=2 single-attribute
-//     configuration a fully closed form (emd.Space.TwoRecordAbsDev) with
-//     integer accept/reject comparisons. Candidates whose confidential-bin
-//     signature already failed against the current cluster state are
-//     skipped in O(1) where that memo still pays for itself.
+//     binary searches. For the paper's k=2 single-attribute configuration
+//     the refinement leaves the stream entirely: the interval-jump engine
+//     (swapjump.go) exploits the closed-form two-record deviation
+//     (emd.Space.TwoRecordAbsDev) being piecewise convex in the candidate
+//     bin to jump straight to each accepted swap — O(avail) setup per
+//     cluster instead of a full distance sort, with identical partitions.
+//     Candidates whose confidential-bin signature already failed against
+//     the current cluster state are skipped in O(1) where that memo still
+//     pays for itself.
 //   - Algorithm 3: seed and per-subset nearest queries run on Searchers
 //     (one global, one per rank subset) plus O(n·k) subset bookkeeping;
 //     still no EMD evaluations at all.
@@ -65,6 +69,25 @@
 // Every optimized path is pinned to its naive reference implementation by
 // property tests (identical partitions and EMDs); EMD evaluation is exact
 // integer arithmetic, so incremental and batch results are bit-identical.
+//
+// # Parallel determinism contract
+//
+// The partition loops are sharded across the engine worker budget
+// (micro.Matrix.Workers, set by core.WithWorkers): Algorithm 1's merge
+// partner evaluations fan out with an order-stable argmin on the serial
+// scan's (cost, index) tie key; Algorithm 2's eviction scoring fans out
+// the same way on the integer (numerator, index) key after warming the
+// histogram's swap geometry (emd.Hist.WarmSwapCache) so the concurrent
+// evaluations are pure reads; Algorithm 2's per-cluster distance fills are
+// chunked with each chunk writing disjoint slots; and Algorithm 3's
+// per-subset draws run on a reusable worker pool (internal/par) where each
+// task owns exactly one rank subset and its Searcher, with results landing
+// in fixed slots appended in subset order. Every seam therefore produces
+// partitions bit-identical to the serial run at any worker count — pinned
+// by the worker-sweep property tests in this package, the SABRE sweep, and
+// the golden conformance fixtures in internal/core — and each seam keeps a
+// serial fallback below its engagement floor, so a one-worker engine pays
+// no fan-out overhead at all.
 package tclose
 
 import (
@@ -111,6 +134,23 @@ var (
 	ErrNoRecords = errors.New("tclose: data set has no records")
 )
 
+// Parallel-seam engagement floors. Below these sizes the fan-out overhead
+// outweighs the shard work and the loops stay serial; both sides produce
+// bit-identical partitions, so the floors are pure performance knobs. They
+// are variables so the worker-sweep property tests can force the parallel
+// paths on small tables.
+var (
+	// mergePartnerParMin is the live-cluster count at or above which
+	// Algorithm 1's merge partner scan fans out.
+	mergePartnerParMin = 1024
+	// evictScanParMin is the cluster size at or above which Algorithm 2's
+	// eviction scoring fans out.
+	evictScanParMin = 64
+	// alg3DrawParMinRows is the per-subset record count at or above which
+	// Algorithm 3's per-subset nearest draws run on the worker pool.
+	alg3DrawParMinRows = 256
+)
+
 // problem is the per-run view of a Prepared substrate: the validated
 // parameters of one algorithm invocation plus the run-private scratch state
 // of the partition loops. The substrate itself (table, points, matrix, EMD
@@ -122,9 +162,19 @@ type problem struct {
 	t   float64
 	run Run
 
+	// workers is the engine worker budget (micro.Matrix.Workers) shared by
+	// every parallel seam of the partition loops: the merge partner scans,
+	// the swap-candidate scoring, Algorithm 3's per-subset draws and the
+	// jump engine's distance fills. All seams reduce in a fixed order, so
+	// partitions are bit-identical at any value; 1 runs fully serial.
+	workers int
+
 	// rowScratch backs micro.FilterRows so the partition loops do not
 	// allocate per removal.
 	rowScratch []bool
+	// evictSkip marks duplicate-signature eviction candidates for the
+	// parallel swap scoring (reused across refinement steps).
+	evictSkip []bool
 	// rejected memoizes candidate signatures already tried without
 	// improvement against the current cluster state of Algorithm 2's swap
 	// refinement; evaluated deduplicates eviction candidates within one
@@ -151,6 +201,7 @@ func (prep *Prepared) newRun(run Run, k int, tLevel float64) (*problem, error) {
 		k:          k,
 		t:          tLevel,
 		run:        run,
+		workers:    prep.mat.Workers(),
 		rowScratch: make([]bool, prep.table.Len()),
 	}
 	if prep.sigs != nil {

@@ -43,6 +43,20 @@
 // append opens a new table epoch whose runs are bit-identical to a fresh
 // engine over the concatenated table.
 //
+// # Parallel determinism contract
+//
+// The partition loops themselves are sharded: merge partner scans, swap
+// candidate scoring, Algorithm 3's per-subset draws, SABRE's per-bucket
+// draws and the candidate distance fills all fan out across the engine's
+// worker budget (WithWorkers, defaulting to GOMAXPROCS). Parallelism never
+// changes results — every shard owns disjoint state or a fixed result
+// slot, and every reduction is order-stable on the same (distance, row) or
+// (cost, index) tie keys the serial scans use — so partitions and releases
+// are bit-identical at every worker count. The contract is pinned by
+// worker-sweep property tests and a golden conformance fixture
+// (internal/core/testdata); WithWorkers is therefore purely a throughput
+// knob, safe to tune per deployment.
+//
 // The one-shot Anonymize(table, cfg) remains fully supported as a shim
 // over a throwaway engine for callers that anonymize a table exactly once.
 package repro
