@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSmoke is the end-to-end service check CI runs: build the real
+// binary, start it, register the census dataset, submit one 2-QI census
+// anonymization job, poll it to completion, fetch the release, assert
+// /healthz is 200, then SIGTERM and require a clean (exit 0) drain.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level smoke test; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "tcserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building tcserved: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-preload", "census-mcd", "-grace", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The server prints "tcserved listening on <addr>" once the listener
+	// is up; parse the chosen port from it.
+	var base string
+	scanner := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, "tcserved listening on ") {
+				lineCh <- strings.TrimPrefix(line, "tcserved listening on ")
+				return
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case addr, ok := <-lineCh:
+		if !ok {
+			t.Fatal("server exited before announcing its address")
+		}
+		base = "http://" + strings.TrimSpace(addr)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not announce its address in 30s")
+	}
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		return resp.StatusCode, doc
+	}
+
+	// Submit one census-2QI job against the preloaded dataset.
+	body, _ := json.Marshal(map[string]any{
+		"dataset": "census-mcd", "algorithm": "alg3", "k": 5, "t": 0.15,
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, sub)
+	}
+	id := sub["id"].(float64)
+
+	// Poll to completion.
+	deadline := time.Now().Add(2 * time.Minute)
+	var state string
+	for time.Now().Before(deadline) {
+		code, doc := get(fmt.Sprintf("/v1/jobs/%.0f", id))
+		if code != http.StatusOK {
+			t.Fatalf("status poll: %d", code)
+		}
+		state = doc["state"].(string)
+		if state == "done" || state == "failed" || state == "canceled" {
+			if state != "done" {
+				t.Fatalf("job finished %q: %v", state, doc["error"])
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job still %q at deadline", state)
+	}
+
+	code, res := get(fmt.Sprintf("/v1/jobs/%.0f/result", id))
+	if code != http.StatusOK {
+		t.Fatalf("result: %d", code)
+	}
+	if release, _ := res["release_csv"].(string); !strings.Contains(release, "\n") {
+		t.Fatal("result carries no release CSV")
+	}
+
+	if code, doc := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d (%v)", code, doc)
+	}
+
+	// SIGTERM: the server must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("tcserved exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("tcserved did not exit within 60s of SIGTERM")
+	}
+}

@@ -14,12 +14,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/generalization"
 	"repro/internal/micro"
 	"repro/internal/privacy"
+	"repro/internal/sabre"
 	"repro/internal/tclose"
 )
 
@@ -186,13 +189,25 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	return eng.Run(context.Background(), cfg)
 }
 
-// validateSpec applies the paper algorithms' parameter validation up
-// front, with the same sentinel errors they return, so invalid calls fail
-// before any substrate is built. The baselines validate for themselves —
-// their domains differ (Mondrian accepts any t, treating values above the
-// EMD ceiling as unconstrained), so pre-checking here would change their
-// legacy behavior.
-func validateSpec(spec Spec) error {
+// ErrUnknownAlgorithm rejects Spec.Algorithm values outside the six
+// implemented methods. It is returned before any substrate work, so a
+// malformed request (a service submission, a corrupted config) stays as
+// cheap to reject as a parse error.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+// ValidateSpec checks a Spec's parameters against its algorithm's domain
+// without running anything, returning the same typed sentinel error the
+// run itself would: tclose.ErrBadK/ErrBadT for the paper's algorithms,
+// generalization.ErrBadK for the recoding baselines, sabre.ErrBadK/ErrBadT
+// for SABRE, and ErrUnknownAlgorithm for an Algorithm value outside the
+// implemented set. Engine.Run and Anonymize call it before touching the
+// substrate; services should call it at admission time so an invalid
+// submission is rejected with a 4xx instead of becoming a failed job.
+//
+// The domains deliberately mirror each algorithm's own checks — Mondrian
+// and Incognito accept any t (values above the EMD ceiling are simply
+// unconstrained), so only k is validated for them.
+func ValidateSpec(spec Spec) error {
 	switch spec.Algorithm {
 	case Merge, KAnonymityFirst, TClosenessFirst:
 		if spec.K < 1 {
@@ -201,9 +216,26 @@ func validateSpec(spec Spec) error {
 		if spec.T <= 0 || spec.T > 1 {
 			return fmt.Errorf("%w: got %v", tclose.ErrBadT, spec.T)
 		}
+	case MondrianBaseline, IncognitoBaseline:
+		if spec.K < 1 {
+			return generalization.ErrBadK
+		}
+	case SABREBaseline:
+		if spec.K < 1 {
+			return sabre.ErrBadK
+		}
+		if spec.T <= 0 || spec.T > 1 {
+			return fmt.Errorf("%w, got %v", sabre.ErrBadT, spec.T)
+		}
+	default:
+		return fmt.Errorf("%w %v", ErrUnknownAlgorithm, int(spec.Algorithm))
 	}
 	return nil
 }
+
+// validateSpec is the historical internal name; the exported ValidateSpec
+// is the single source of truth.
+func validateSpec(spec Spec) error { return ValidateSpec(spec) }
 
 // assess re-verifies the partition directly (rather than via the aggregated
 // table) so that identical centroids of two different clusters cannot mask a

@@ -3,9 +3,98 @@
 // (Cells), a reusable fixed-size worker pool (Pool) for loops that fan out
 // thousands of times, and order-stable argmin reductions whose results are
 // bit-identical to the serial left-to-right scan at any worker count.
+//
+// # Panic isolation
+//
+// A panic inside a task does not crash the process from an anonymous
+// worker goroutine: every fan-out recovers worker panics, lets the round
+// finish (remaining tasks are skipped once a panic is recorded), and
+// re-raises the first panic on the submitting goroutine as a *Panic
+// carrying the original value and the panicking worker's stack. Callers
+// that recover engine panics — the serving layer — therefore see them on
+// the goroutine that called Run/Cells/Chunks, with the worker stack
+// preserved, and the pool itself stays usable for later rounds. On the
+// serial fallbacks (degenerate pool, single chunk) tasks run inline, so a
+// panic propagates on the caller's goroutine unwrapped, exactly as before.
 package par
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Panic is a worker panic re-raised on the submitting goroutine. Value is
+// the original panic value; Stack is the stack of the panicking worker
+// goroutine, captured at recovery time.
+type Panic struct {
+	Value any
+	Stack []byte
+}
+
+// Error makes *Panic an error, so services recovering it can store and
+// classify it like any other failure.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("par: worker panic: %v", p.Value)
+}
+
+// String returns the panic value followed by the captured worker stack.
+func (p *Panic) String() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// panicBox records the first panic of one fan-out round. Later panics of
+// the same round are dropped: the round fails once, deterministically, on
+// the earliest recovery.
+type panicBox struct {
+	tripped atomic.Bool
+	mu      sync.Mutex
+	p       *Panic
+}
+
+// run executes fn, recording a recovered panic. Once the box is tripped,
+// remaining tasks of the round are skipped — their results would be
+// discarded by the re-raise anyway, and skipping lets a poisoned round
+// drain quickly.
+func (b *panicBox) run(fn func()) {
+	if b.tripped.Load() {
+		return
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			b.record(v)
+		}
+	}()
+	fn()
+}
+
+// record stores the first panic of the round, preserving an already
+// wrapped *Panic (a nested fan-out) instead of double-wrapping it.
+func (b *panicBox) record(v any) {
+	b.mu.Lock()
+	if b.p == nil {
+		if p, ok := v.(*Panic); ok {
+			b.p = p
+		} else {
+			b.p = &Panic{Value: v, Stack: debug.Stack()}
+		}
+		b.tripped.Store(true)
+	}
+	b.mu.Unlock()
+}
+
+// rethrow re-raises the recorded panic, if any, on the calling goroutine.
+// It must be called after the round's workers are known to be done, so the
+// read is ordered after every record.
+func (b *panicBox) rethrow() {
+	if b.tripped.Load() {
+		b.mu.Lock()
+		p := b.p
+		b.mu.Unlock()
+		panic(p)
+	}
+}
 
 // Cells evaluates n independent work items on a bounded pool of worker
 // goroutines and returns when all are done. Each item must write only its
@@ -19,13 +108,17 @@ func Cells(n, workers int, cell func(i int)) {
 		workers = n
 	}
 	var wg sync.WaitGroup
+	var box panicBox
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The recover inside box.run keeps the worker consuming after a
+			// task panics, so the feeding loop below can never block on a
+			// dead pool.
 			for i := range work {
-				cell(i)
+				box.run(func() { cell(i) })
 			}
 		}()
 	}
@@ -34,6 +127,7 @@ func Cells(n, workers int, cell func(i int)) {
 	}
 	close(work)
 	wg.Wait()
+	box.rethrow()
 }
 
 // Chunks splits [0, n) into at most workers near-equal contiguous chunks and
@@ -56,14 +150,16 @@ func Chunks(n, workers int, fn func(w, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			fn(w, w*n/workers, (w+1)*n/workers)
+			box.run(func() { fn(w, w*n/workers, (w+1)*n/workers) })
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // Pool is a reusable fixed-size worker pool for loops that fan out many
@@ -87,6 +183,14 @@ type poolTask struct {
 	i    int
 	fn   func(int)
 	done *sync.WaitGroup
+	box  *panicBox
+}
+
+// exec runs the task with panic capture, always signalling completion so a
+// panicking round can neither deadlock Run nor kill the pooled worker.
+func (t poolTask) exec() {
+	defer t.done.Done()
+	t.box.run(func() { t.fn(t.i) })
 }
 
 // NewPool spawns a pool of the given size. Sizes < 2 return a degenerate
@@ -104,8 +208,7 @@ func NewPool(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for t := range p.work {
-				t.fn(t.i)
-				t.done.Done()
+				t.exec()
 			}
 		}()
 	}
@@ -131,11 +234,13 @@ func (p *Pool) Run(n int, task func(i int)) {
 		return
 	}
 	var done sync.WaitGroup
+	var box panicBox
 	done.Add(n)
 	for i := 0; i < n; i++ {
-		p.work <- poolTask{i: i, fn: task, done: &done}
+		p.work <- poolTask{i: i, fn: task, done: &done, box: &box}
 	}
 	done.Wait()
+	box.rethrow()
 }
 
 // Close shuts the pool's workers down. Safe on a degenerate pool.

@@ -39,6 +39,17 @@ import (
 	"repro/internal/par"
 )
 
+// Typed parameter-domain sentinels, so callers (the core spec validation,
+// the serving layer) can classify invalid requests with errors.Is before
+// any work is done. The messages are exactly the strings AnonymizeCtx has
+// always returned inline.
+var (
+	// ErrBadK rejects k < 1.
+	ErrBadK = errors.New("sabre: k must be at least 1")
+	// ErrBadT rejects t outside (0, 1].
+	ErrBadT = errors.New("sabre: t must be in (0, 1]")
+)
+
 // Result is the outcome of SABRE anonymization.
 type Result struct {
 	// Clusters partitions the table's records into equivalence classes.
@@ -91,10 +102,10 @@ func AnonymizeCtx(ctx context.Context, t *dataset.Table, k int, tLevel float64, 
 		return nil, err
 	}
 	if k < 1 {
-		return nil, errors.New("sabre: k must be at least 1")
+		return nil, ErrBadK
 	}
 	if tLevel <= 0 || tLevel > 1 {
-		return nil, fmt.Errorf("sabre: t must be in (0, 1], got %v", tLevel)
+		return nil, fmt.Errorf("%w, got %v", ErrBadT, tLevel)
 	}
 	if ctx == nil {
 		ctx = context.Background()

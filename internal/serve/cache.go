@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheKey identifies one release: the dataset at a specific epoch crossed
+// with the full parameter point. Identical submissions against an
+// unchanged dataset are O(1); any Append bumps the epoch and naturally
+// invalidates without eviction logic.
+type cacheKey struct {
+	dataset        string
+	epoch          int
+	algorithm      core.Algorithm
+	k              int
+	t              float64
+	skipAssessment bool
+}
+
+// resultCache is a small mutex-guarded LRU over completed results. Results
+// are immutable once published (the engine returns fresh tables per run
+// and the server never mutates them), so entries are shared by pointer.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+func (c *resultCache) get(k cacheKey) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(k cacheKey, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,140 @@
+// Package faultinject is the hook layer the serving conformance suite uses
+// to prove degradation paths end to end: it can make a run panic at its
+// nth task, stretch every task by a fixed delay (to trip deadlines), and
+// fail the next n run attempts with a transient error (to exercise
+// retry-with-backoff). Production builds run with a nil *Hooks, whose
+// methods are all no-ops; nothing in this package is reachable unless a
+// server (or tcserved via TCSERVED_FAULT) is explicitly configured with
+// hooks. Every later scale layer — out-of-core storage, cross-cluster
+// sharding — is expected to be tested against the same three primitives.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTransient is the injected transient failure. It implements the
+// serving layer's transient classification (Transient() bool), so injected
+// failures are retried exactly like real transient ones.
+var ErrTransient = &transientError{}
+
+type transientError struct{}
+
+func (*transientError) Error() string   { return "faultinject: injected transient failure" }
+func (*transientError) Transient() bool { return true }
+
+// Hooks injects faults into job execution. The zero value injects nothing;
+// a nil *Hooks is valid and injects nothing. All fields are read through
+// atomics, so tests may re-arm a live server's hooks between requests.
+type Hooks struct {
+	// panicAtTask > 0 panics on the nth task event (1-based) of every run
+	// attempt. Task events are the engine's coarse progress ticks, so the
+	// panic lands mid-partition on the run's goroutine — the exact shape of
+	// a defensive panic escaping the clustering core.
+	panicAtTask atomic.Int64
+	// taskDelay stretches every task event, as nanoseconds.
+	taskDelay atomic.Int64
+	// transientRuns counts down: while positive, each BeforeAttempt consumes
+	// one and fails with ErrTransient.
+	transientRuns atomic.Int64
+
+	// Injected counts the faults actually delivered, by kind.
+	Panics     atomic.Int64
+	Delays     atomic.Int64
+	Transients atomic.Int64
+}
+
+// PanicAtTask arms (n > 0) or disarms (n <= 0) the panic-at-nth-task
+// fault for every subsequent run attempt.
+func (h *Hooks) PanicAtTask(n int) { h.panicAtTask.Store(int64(n)) }
+
+// SlowTask stretches every task event by d (0 disarms).
+func (h *Hooks) SlowTask(d time.Duration) { h.taskDelay.Store(int64(d)) }
+
+// FailNextRuns makes the next n run attempts fail with ErrTransient
+// before any engine work.
+func (h *Hooks) FailNextRuns(n int) { h.transientRuns.Store(int64(n)) }
+
+// BeforeAttempt is called by the job runner at the start of each run
+// attempt; a non-nil return aborts the attempt with that error.
+func (h *Hooks) BeforeAttempt() error {
+	if h == nil {
+		return nil
+	}
+	for {
+		n := h.transientRuns.Load()
+		if n <= 0 {
+			return nil
+		}
+		if h.transientRuns.CompareAndSwap(n, n-1) {
+			h.Transients.Add(1)
+			return ErrTransient
+		}
+	}
+}
+
+// OnTask is called with the 1-based task-event index of the current run
+// attempt. It may sleep (slow-task) and may panic (panic-at-nth-task); the
+// panic unwinds the run goroutine through the engine, which is exactly the
+// path the panic-isolation contract must survive.
+func (h *Hooks) OnTask(n int) {
+	if h == nil {
+		return
+	}
+	if d := time.Duration(h.taskDelay.Load()); d > 0 {
+		h.Delays.Add(1)
+		time.Sleep(d)
+	}
+	if at := h.panicAtTask.Load(); at > 0 && int64(n) == at {
+		h.Panics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected panic at task %d", n))
+	}
+}
+
+// Parse builds Hooks from a comma-separated spec like
+//
+//	panic-at=3,slow-task=50ms,transient=2
+//
+// — the form tcserved accepts via -fault / TCSERVED_FAULT. An empty spec
+// returns nil (no injection).
+func Parse(spec string) (*Hooks, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	h := &Hooks{}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: malformed clause %q", part)
+		}
+		switch key {
+		case "panic-at":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: panic-at: %w", err)
+			}
+			h.PanicAtTask(n)
+		case "slow-task":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: slow-task: %w", err)
+			}
+			h.SlowTask(d)
+		case "transient":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: transient: %w", err)
+			}
+			h.FailNextRuns(n)
+		default:
+			return nil, errors.New("faultinject: unknown clause key " + strconv.Quote(key))
+		}
+	}
+	return h, nil
+}

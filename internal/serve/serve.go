@@ -1,0 +1,702 @@
+// Package serve is the fault-tolerant anonymization service layer over
+// core.Engine: dataset registration and epoch ingest, asynchronous
+// anonymization jobs (submit / status-with-progress / result / cancel),
+// and the ops endpoints (/healthz, /metrics) a long-running deployment
+// needs. Robustness is the headline contract:
+//
+//   - Panic isolation: a panicking job — a defensive panic escaping the
+//     clustering core, on the run goroutine or re-raised from a worker
+//     pool — fails only that job; its record carries the recovered value
+//     and stack, and the process keeps serving.
+//   - Deadlines: every job runs under context.WithTimeout; exceeding it
+//     fails the job with the typed ErrDeadline promptly.
+//   - Backpressure: the job queue is bounded; submissions beyond the bound
+//     are shed with 429 and a Retry-After estimate instead of growing the
+//     process without bound.
+//   - Retry with backoff: attempts failing with a transient
+//     (non-deterministic) error are retried with exponential backoff;
+//     deterministic failures — panics included — are not.
+//   - Graceful shutdown: Shutdown stops admissions, drains queued and
+//     in-flight jobs within the caller's grace context, then cancels
+//     whatever remains.
+//
+// Identical submissions are served from a keyed result cache over
+// (dataset, epoch, Spec) without re-running the engine. The
+// internal/serve/faultinject subpackage can inject panics, slowdowns and
+// transient failures so the conformance suite proves each degradation
+// path end to end.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve/faultinject"
+	"repro/internal/synth"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// MaxQueue bounds the job queue; submissions beyond it get 429.
+	MaxQueue int
+	// JobWorkers is the number of jobs executed concurrently.
+	JobWorkers int
+	// DefaultTimeout is the per-job deadline when a submission names none.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines.
+	MaxTimeout time.Duration
+	// RetryMax is the number of retries (beyond the first attempt) for
+	// transient failures.
+	RetryMax int
+	// RetryBackoff is the first retry's backoff; it doubles per attempt.
+	RetryBackoff time.Duration
+	// CacheEntries bounds the result cache (0 disables caching).
+	CacheEntries int
+	// JobHistory bounds retained finished-job records; the oldest finished
+	// jobs are forgotten beyond it.
+	JobHistory int
+	// MaxDatasets bounds registered datasets.
+	MaxDatasets int
+	// EngineWorkers caps each dataset engine's parallel fan-out
+	// (core.WithWorkers); 0 keeps the engine default.
+	EngineWorkers int
+	// MaxBodyBytes bounds request bodies (CSV uploads, append batches).
+	MaxBodyBytes int64
+	// Fault, when non-nil, injects faults into job execution; see package
+	// faultinject. Nil in production.
+	Fault *faultinject.Hooks
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	} else if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// datasetEntry is one registered dataset and its prepared engine. runMu
+// serializes runs and appends on the dataset so the epoch recorded for the
+// cache key is exactly the epoch the run executed against; current routes
+// engine progress events to the job running right now.
+type datasetEntry struct {
+	name    string
+	eng     *core.Engine
+	created time.Time
+
+	runMu   sync.Mutex
+	current atomic.Pointer[job]
+}
+
+// Server is the anonymization service. It implements http.Handler; create
+// with New, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics metrics
+	cache   *resultCache
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	datasets map[string]*datasetEntry
+	jobs     map[uint64]*job
+	history  []uint64 // finished job ids, oldest first
+	nextID   uint64
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		cache:    newResultCache(cfg.CacheEntries),
+		queue:    make(chan *job, cfg.MaxQueue),
+		datasets: make(map[string]*datasetEntry),
+		jobs:     make(map[uint64]*job),
+	}
+	s.metrics.start = time.Now()
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: no new submissions are admitted, queued and
+// in-flight jobs run to completion within ctx, and when ctx expires first
+// the remaining jobs are canceled (finishing in the canceled state) before
+// Shutdown returns. It returns ctx.Err() when the grace period expired,
+// nil on a clean drain. Safe to call once; later calls just wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel() // cancel in-flight job contexts
+		<-done
+		return ctx.Err()
+	}
+}
+
+// --- datasets ---
+
+// RegisterDataset registers a table under a name and prepares its engine.
+// It is the programmatic form of POST /v1/datasets, used by tcserved's
+// preload flag.
+func (s *Server) RegisterDataset(name string, t *dataset.Table) error {
+	if name == "" {
+		return errors.New("serve: dataset name must not be empty")
+	}
+	ds := &datasetEntry{name: name, created: time.Now()}
+	eng, err := core.NewEngine(t, s.engineOptions(ds)...)
+	if err != nil {
+		return err
+	}
+	ds.eng = eng
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errors.New("serve: server is draining")
+	}
+	if _, ok := s.datasets[name]; ok {
+		return fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	if len(s.datasets) >= s.cfg.MaxDatasets {
+		return fmt.Errorf("serve: dataset limit (%d) reached", s.cfg.MaxDatasets)
+	}
+	s.datasets[name] = ds
+	return nil
+}
+
+// engineOptions wires the per-dataset engine: the worker cap and the
+// progress hook that routes events to the running job and gives the fault
+// layer its task index.
+func (s *Server) engineOptions(ds *datasetEntry) []core.Option {
+	opts := []core.Option{core.WithProgress(func(p core.Progress) {
+		j := ds.current.Load()
+		if j == nil {
+			return
+		}
+		n := j.noteProgress(p)
+		s.cfg.Fault.OnTask(n)
+	})}
+	if s.cfg.EngineWorkers > 0 {
+		opts = append(opts, core.WithWorkers(s.cfg.EngineWorkers))
+	}
+	return opts
+}
+
+func (s *Server) dataset(name string) *datasetEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.datasets[name]
+}
+
+// SynthTable resolves the built-in synthetic dataset names ("census-mcd",
+// "census-hcd", "patients"), so a server can be exercised without
+// uploading data; n <= 0 selects each generator's default size. It backs
+// both the ?synth registration parameter and tcserved's -preload flag.
+func SynthTable(kind string, n int) (*dataset.Table, error) {
+	switch kind {
+	case "census-mcd":
+		if n <= 0 {
+			return synth.CensusMCD(), nil
+		}
+		return synth.Census(n, synth.FedTax, synth.DefaultSeed), nil
+	case "census-hcd":
+		if n <= 0 {
+			return synth.CensusHCD(), nil
+		}
+		return synth.Census(n, synth.Fica, synth.DefaultSeed), nil
+	case "patients":
+		if n <= 0 {
+			n = 1000
+		}
+		return synth.PatientDischarge(n, synth.DefaultSeed), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown synthetic dataset %q", kind)
+	}
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	var tbl *dataset.Table
+	if kind := r.URL.Query().Get("synth"); kind != "" {
+		n := 0
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 1 {
+				httpError(w, http.StatusBadRequest, "bad n parameter")
+				return
+			}
+			n = v
+		}
+		t, err := SynthTable(kind, n)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if name == "" {
+			name = kind
+		}
+		tbl = t
+	} else {
+		if name == "" {
+			httpError(w, http.StatusBadRequest, "name query parameter required for CSV registration")
+			return
+		}
+		t, err := dataset.ReadCSV(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parsing CSV: "+err.Error())
+			return
+		}
+		tbl = t
+	}
+	if err := s.RegisterDataset(name, tbl); err != nil {
+		code := http.StatusConflict
+		if strings.Contains(err.Error(), "limit") {
+			code = http.StatusTooManyRequests
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": name, "rows": tbl.Len(), "epoch": 0,
+	})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": names})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	ds := s.dataset(r.PathValue("name"))
+	if ds == nil {
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	sch := ds.eng.Table().Schema()
+	attrs := make([]map[string]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		a := sch.Attr(i)
+		attrs[i] = map[string]string{"name": a.Name, "role": a.Role.String(), "kind": a.Kind.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       ds.name,
+		"rows":       ds.eng.Len(),
+		"epoch":      ds.eng.Epoch(),
+		"attributes": attrs,
+		"created":    ds.created.UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	ds := s.dataset(r.PathValue("name"))
+	if ds == nil {
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	var req struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing body: "+err.Error())
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, "no rows")
+		return
+	}
+	// Serialize with runs so a run's recorded epoch stays exact.
+	ds.runMu.Lock()
+	err := ds.eng.Append(req.Rows...)
+	ds.runMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": ds.name, "rows": ds.eng.Len(), "epoch": ds.eng.Epoch(),
+	})
+}
+
+// --- jobs ---
+
+type submitRequest struct {
+	Dataset        string  `json:"dataset"`
+	Algorithm      string  `json:"algorithm"`
+	K              int     `json:"k"`
+	T              float64 `json:"t"`
+	TimeoutMillis  int64   `json:"timeout_ms"`
+	SkipAssessment bool    `json:"skip_assessment"`
+	NoCache        bool    `json:"no_cache"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing body: "+err.Error())
+		return
+	}
+	ds := s.dataset(req.Dataset)
+	if ds == nil {
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	alg, err := core.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec := core.Spec{Algorithm: alg, K: req.K, T: req.T, SkipAssessment: req.SkipAssessment}
+	if err := core.ValidateSpec(spec); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	j := &job{
+		ds:        ds,
+		spec:      spec,
+		algName:   alg.String(),
+		timeout:   timeout,
+		noCache:   req.NoCache,
+		state:     JobQueued,
+		submitted: time.Now(),
+		epoch:     ds.eng.Epoch(),
+	}
+
+	// Cache fast path: an identical (dataset epoch, Spec) release is served
+	// without touching the queue or the engine.
+	if !req.NoCache {
+		if res, ok := s.cache.get(cacheKeyOf(ds.name, ds.eng.Epoch(), spec)); ok {
+			s.metrics.cacheHits.Add(1)
+			j.state = JobDone
+			j.cached = true
+			j.res = res
+			j.started = j.submitted
+			j.finished = j.submitted
+			s.registerJob(j)
+			writeJSON(w, http.StatusOK, s.statusDoc(j))
+			return
+		}
+		s.metrics.cacheMiss.Add(1)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.registerJobLocked(j)
+		s.mu.Unlock()
+		w.Header().Set("Location", fmt.Sprintf("/v1/jobs/%d", j.id))
+		writeJSON(w, http.StatusAccepted, s.statusDoc(j))
+	default:
+		s.mu.Unlock()
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "job queue full")
+	}
+}
+
+// retryAfterSeconds estimates when queue capacity should free up: the p50
+// run latency times the queue backlog per worker, clamped to [1, 60].
+func (s *Server) retryAfterSeconds() int {
+	p50, _ := s.metrics.quantiles()
+	if p50 <= 0 {
+		return 1
+	}
+	backlogPerWorker := float64(len(s.queue))/float64(s.cfg.JobWorkers) + 1
+	secs := int(math.Ceil(p50.Seconds() * backlogPerWorker))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (s *Server) registerJob(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registerJobLocked(j)
+}
+
+func (s *Server) registerJobLocked(j *job) {
+	s.nextID++
+	j.id = s.nextID
+	s.jobs[j.id] = j
+	s.pruneHistoryLocked()
+}
+
+// pruneHistoryLocked forgets the oldest finished jobs beyond JobHistory so
+// a long-running server's job map stays bounded. Queued and running jobs
+// are never pruned.
+func (s *Server) pruneHistoryLocked() {
+	if len(s.jobs) <= s.cfg.JobHistory {
+		return
+	}
+	for id, j := range s.jobs {
+		if len(s.jobs) <= s.cfg.JobHistory {
+			break
+		}
+		j.mu.Lock()
+		finished := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+		j.mu.Unlock()
+		if finished {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+func (s *Server) job(idStr string) *job {
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusDoc(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	state := j.requestCancel(&s.metrics)
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "state": state})
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	res := j.res
+	j.mu.Unlock()
+	if state != JobDone {
+		writeJSON(w, http.StatusConflict, s.statusDoc(j))
+		return
+	}
+	var csv strings.Builder
+	if err := res.Anonymized.WriteCSV(&csv); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding release: "+err.Error())
+		return
+	}
+	doc := map[string]any{
+		"id":          j.id,
+		"dataset":     j.ds.name,
+		"epoch":       j.epoch,
+		"algorithm":   j.algName,
+		"k":           j.spec.K,
+		"t":           j.spec.T,
+		"cached":      j.cached,
+		"rows":        res.Anonymized.Len(),
+		"clusters":    len(res.Clusters),
+		"max_emd":     res.MaxEMD,
+		"sse":         res.SSE,
+		"effective_k": res.EffectiveK,
+		"merges":      res.Merges,
+		"swaps":       res.Swaps,
+		"elapsed_ms":  float64(res.Elapsed) / float64(time.Millisecond),
+		"sizes": map[string]any{
+			"min": res.Sizes.Min, "max": res.Sizes.Max,
+			"avg": res.Sizes.Avg, "num": res.Sizes.Num,
+		},
+		"release_csv": csv.String(),
+	}
+	if res.Privacy != nil {
+		doc["privacy"] = map[string]any{
+			"classes":     res.Privacy.Classes,
+			"k_anonymity": res.Privacy.KAnonymity,
+			"t_closeness": res.Privacy.TCloseness,
+			"l_diversity": res.Privacy.LDiversity,
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// statusDoc renders a job's record, including — for failed jobs — the
+// error kind and, for panics, the recovered stack.
+func (s *Server) statusDoc(j *job) map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := map[string]any{
+		"id":         j.id,
+		"dataset":    j.ds.name,
+		"epoch":      j.epoch,
+		"algorithm":  j.algName,
+		"k":          j.spec.K,
+		"t":          j.spec.T,
+		"state":      j.state,
+		"cached":     j.cached,
+		"attempts":   j.attempts,
+		"timeout_ms": j.timeout.Milliseconds(),
+		"submitted":  j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.state == JobRunning || (j.state == JobDone && !j.cached) ||
+		j.state == JobFailed {
+		doc["progress"] = map[string]any{
+			"phase": j.progress.Phase,
+			"done":  j.progress.Done,
+			"total": j.progress.Total,
+		}
+	}
+	if j.err != nil {
+		doc["error"] = j.err.Error()
+		doc["error_kind"] = j.errKind
+		if len(j.stack) > 0 {
+			doc["stack"] = string(j.stack)
+		}
+	}
+	if !j.finished.IsZero() {
+		doc["finished"] = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			doc["run_ms"] = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	return doc
+}
+
+// --- ops ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

@@ -59,6 +59,21 @@
 //
 // The one-shot Anonymize(table, cfg) remains fully supported as a shim
 // over a throwaway engine for callers that anonymize a table exactly once.
+//
+// # Serving
+//
+// For long-lived deployments the library ships as a service: cmd/tcserved
+// exposes dataset registration, asynchronous anonymization jobs over
+// prepared engines, epoch appends, and ops endpoints (/healthz, /metrics)
+// over HTTP. The serving layer (internal/serve) adds the robustness the
+// library deliberately leaves to callers — worker panics are captured by
+// internal/par and surface as one failed job rather than a dead process,
+// every job runs under a deadline, a bounded queue sheds overload with
+// 429 + Retry-After, transient failures retry with backoff, results are
+// cached per (dataset epoch, spec), and SIGTERM drains in-flight jobs
+// before exit. Its failure semantics are pinned by a fault-injection
+// conformance suite (internal/serve/faultinject); see cmd/tcserved/README.md
+// for the job API and the shutdown contract.
 package repro
 
 import (
