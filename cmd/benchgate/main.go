@@ -1,13 +1,25 @@
 // Command benchgate compares two benchjson evidence files and fails when
 // any cell present in both regressed beyond a noise tolerance. CI runs it
-// over the committed BENCH_<PR>.json trajectory — both files are measured
-// on the same machine when a PR lands, so a generous multiplicative
-// tolerance separates real regressions from scheduler noise without
-// requiring CI hardware to reproduce the timings.
+// over the committed BENCH_<PR>.json trajectory — when both files are
+// measured on the same machine a generous multiplicative tolerance
+// separates real regressions from scheduler noise without requiring CI
+// hardware to reproduce the timings.
+//
+// When consecutive evidence files come from machines of different speeds,
+// absolute ratios gate the hardware instead of the code. The -norm flag
+// divides each cell's ratio by the median ratio across all shared cells
+// before applying the tolerance: a uniform machine-speed shift moves the
+// median and is absorbed, while a cell that regressed relative to its
+// peers still trips the gate.
+//
+// Cells are keyed by (algorithm, k, t, n, variant); the variant
+// distinguishes the delta-append family ("delta-cold"/"delta-warm") from
+// the classic from-scratch grid (empty variant), so older reports without
+// variant cells compare unchanged.
 //
 // Usage:
 //
-//	benchgate -base BENCH_1.json -new BENCH_2.json [-tol 1.3]
+//	benchgate -base BENCH_1.json -new BENCH_2.json [-tol 1.3] [-norm]
 package main
 
 import (
@@ -27,6 +39,7 @@ type cell struct {
 	K         int            `json:"k"`
 	T         float64        `json:"t"`
 	N         int            `json:"n"`
+	Variant   string         `json:"variant"`
 	Seconds   float64        `json:"seconds"`
 }
 
@@ -36,10 +49,11 @@ type report struct {
 }
 
 type key struct {
-	alg core.Algorithm
-	k   int
-	t   float64
-	n   int
+	alg     core.Algorithm
+	k       int
+	t       float64
+	n       int
+	variant string
 }
 
 func load(path string) (map[key]float64, error) {
@@ -57,7 +71,7 @@ func load(path string) (map[key]float64, error) {
 		if n == 0 {
 			n = rep.N // pre--full reports carried the size at report level
 		}
-		cells[key{alg: c.Algorithm, k: c.K, t: c.T, n: n}] = c.Seconds
+		cells[key{alg: c.Algorithm, k: c.K, t: c.T, n: n, variant: c.Variant}] = c.Seconds
 	}
 	return cells, nil
 }
@@ -66,6 +80,8 @@ func main() {
 	base := flag.String("base", "", "baseline benchjson report")
 	next := flag.String("new", "", "candidate benchjson report")
 	tol := flag.Float64("tol", 1.3, "multiplicative noise tolerance")
+	norm := flag.Bool("norm", false,
+		"normalize out machine speed: gate each cell against the median new/base ratio across shared cells")
 	flag.Parse()
 	if *base == "" || *next == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
@@ -96,8 +112,33 @@ func main() {
 		if a.t != b.t {
 			return a.t < b.t
 		}
-		return a.n < b.n
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		return a.variant < b.variant
 	})
+
+	// The machine-speed factor under -norm: the median new/base ratio over
+	// shared cells. A uniform shift (slower evidence host) lands entirely in
+	// the median; a single cell regressing relative to its peers does not.
+	scale := 1.0
+	if *norm {
+		var ratios []float64
+		for _, k := range keys {
+			if nw, ok := newCells[k]; ok && baseCells[k] > 0 {
+				ratios = append(ratios, nw/baseCells[k])
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			scale = ratios[len(ratios)/2]
+			if len(ratios)%2 == 0 {
+				scale = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+			}
+			fmt.Printf("benchgate: normalizing by median machine-speed ratio %.2fx\n", scale)
+		}
+	}
+
 	compared, failed := 0, 0
 	for _, k := range keys {
 		b := baseCells[k]
@@ -106,14 +147,18 @@ func main() {
 			continue // cell not measured in the candidate (e.g. new sizes only)
 		}
 		compared++
-		limit := b * *tol
+		limit := b * scale * *tol
 		verdict := "ok"
 		if nw > limit {
 			verdict = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("%-22s k=%d t=%.2f n=%-6d base=%8.3fs new=%8.3fs (%.2fx) %s\n",
-			k.alg, k.k, k.t, k.n, b, nw, nw/b, verdict)
+		label := k.alg.String()
+		if k.variant != "" {
+			label += "/" + k.variant
+		}
+		fmt.Printf("%-33s k=%d t=%.2f n=%-6d base=%8.3fs new=%8.3fs (%.2fx) %s\n",
+			label, k.k, k.t, k.n, b, nw, nw/b, verdict)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable cells between the two reports")

@@ -3,6 +3,13 @@
 // the per-cell timings as JSON, giving the repository a machine-readable
 // performance trajectory across PRs (BENCH_1.json, BENCH_2.json, ...).
 //
+// Alongside the classic from-scratch grid it measures the delta-append
+// family: the cost of re-anonymizing after a 1% append, cold (variant
+// "delta-cold": a fresh engine over the appended table) versus warm
+// (variant "delta-warm": a warm-seeded engine repairing its previous
+// partition, see core.Spec.Warm). The pair documents the warm-start
+// speedup as part of the same evidence trajectory.
+//
 // Each measured run goes through a freshly prepared core.Engine whose
 // substrate preparation happens outside the timed region: a cell times the
 // algorithm itself, with cold partition caches, so the trajectory stays
@@ -37,12 +44,16 @@ import (
 // Cell is one measured grid point. N is the sample size the cell was
 // measured at (reports written before the -full flag existed omit it; it
 // then defaults to the report-level N). The algorithm serializes as its
-// canonical name via core.Algorithm's encoding.TextMarshaler.
+// canonical name via core.Algorithm's encoding.TextMarshaler. Variant is
+// empty for the classic from-scratch grid; the delta-append family labels
+// its cells "delta-cold" and "delta-warm" (reports written before the
+// family existed simply have no variant cells).
 type Cell struct {
 	Algorithm core.Algorithm `json:"algorithm"`
 	K         int            `json:"k"`
 	T         float64        `json:"t"`
 	N         int            `json:"n,omitempty"`
+	Variant   string         `json:"variant,omitempty"`
 	NsOp      int64          `json:"ns_op"`
 	Seconds   float64        `json:"seconds"`
 }
@@ -116,6 +127,73 @@ func main() {
 					Seconds:   best.Seconds(),
 				})
 				fmt.Fprintf(os.Stderr, "%v n=%d t=%.2f: %v\n", alg, size, tl, best.Round(time.Microsecond))
+			}
+		}
+	}
+	// Delta-append family: re-anonymization cost after a 1% append, at the
+	// grid's middle t. Each rep is measured on a fresh engine so warm cells
+	// always time the epoch-0 -> epoch-1 repair (a second warm run on the
+	// same engine would hit the already-advanced seed and measure nothing).
+	const deltaT = 0.13
+	for _, size := range sizes {
+		delta := size / 100
+		if delta < 1 {
+			delta = 1
+		}
+		tbl := synth.PatientDischarge(size, synth.DefaultSeed)
+		prefix := make([]int, size-delta)
+		for i := range prefix {
+			prefix[i] = i
+		}
+		baseTbl, err := tbl.Subset(prefix)
+		if err != nil {
+			log.Fatalf("n=%d: %v", size, err)
+		}
+		tail := make([][]any, 0, delta)
+		for r := size - delta; r < size; r++ {
+			row := make([]any, tbl.Width())
+			for c := 0; c < tbl.Width(); c++ {
+				row[c] = tbl.Value(r, c)
+			}
+			tail = append(tail, row)
+		}
+		for _, alg := range algs {
+			for _, variant := range []string{"delta-cold", "delta-warm"} {
+				warm := variant == "delta-warm"
+				spec := core.Spec{Algorithm: alg, K: 2, T: deltaT, SkipAssessment: true, Warm: warm}
+				best := time.Duration(0)
+				for r := 0; r < *reps; r++ {
+					eng, err := core.NewEngine(baseTbl)
+					if err != nil {
+						log.Fatalf("n=%d: %v", size, err)
+					}
+					if warm {
+						// Seed run over the 99% base, outside the timed region.
+						if _, err := eng.Run(ctx, spec); err != nil {
+							log.Fatalf("%v n=%d %s seed: %v", alg, size, variant, err)
+						}
+					}
+					if err := eng.Append(tail...); err != nil {
+						log.Fatalf("n=%d append: %v", size, err)
+					}
+					start := time.Now()
+					if _, err := eng.Run(ctx, spec); err != nil {
+						log.Fatalf("%v n=%d %s: %v", alg, size, variant, err)
+					}
+					if d := time.Since(start); best == 0 || d < best {
+						best = d
+					}
+				}
+				rep.Cells = append(rep.Cells, Cell{
+					Algorithm: alg,
+					K:         2,
+					T:         deltaT,
+					N:         size,
+					Variant:   variant,
+					NsOp:      best.Nanoseconds(),
+					Seconds:   best.Seconds(),
+				})
+				fmt.Fprintf(os.Stderr, "%v n=%d t=%.2f %s: %v\n", alg, size, deltaT, variant, best.Round(time.Microsecond))
 			}
 		}
 	}

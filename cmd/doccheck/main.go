@@ -1,0 +1,164 @@
+// Command doccheck is the documentation linter for the repo's narrative
+// doc set: ARCHITECTURE.md, the repro.go package comment, and the command
+// READMEs. Documentation drifts when code moves — a renamed symbol, a
+// deleted file, a package that grew a new home — and prose has no
+// compiler, so CI runs this instead.
+//
+// Three grep-based checks, deliberately simple:
+//
+//   - Symbol references: a backticked `pkg.Symbol` whose pkg is one of the
+//     repo's package names (an internal/<pkg> directory, or "repro") must
+//     name an identifier that actually occurs in that package's Go source.
+//   - Path references: a backticked repo-relative path (contains a slash
+//     or a well-known file name) must exist in the tree.
+//   - Markdown links: the target of a relative [text](path) link must
+//     exist, resolved against the linking file's directory.
+//
+// Exit status is non-zero when any reference is broken; each failure is
+// reported as file:line so it is clickable in CI logs.
+//
+// Usage:
+//
+//	doccheck [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// checkedFiles is the doc set under contract. Paths are repo-relative.
+var checkedFiles = []string{
+	"ARCHITECTURE.md",
+	"repro.go",
+	"cmd/tcserved/README.md",
+}
+
+var (
+	// `pkg.Symbol` or `pkg.Symbol(...)` inside backticks; the first segment
+	// must look like a package name, the second like an exported identifier
+	// (the uppercase requirement keeps file names like `repro.go` out).
+	// Deeper selectors (`pkg.Type.Method`) check the first two segments.
+	symbolRef = regexp.MustCompile("`([a-z][a-z0-9]*)\\.([A-Z][A-Za-z0-9_]*)")
+	// Backticked repo paths: at least one slash, no spaces, made of path
+	// characters. Trailing / marks a directory reference.
+	pathRef = regexp.MustCompile("`([A-Za-z0-9_./-]+/[A-Za-z0-9_./*-]*)`")
+	// Relative markdown links. Absolute URLs and intra-page anchors are out
+	// of scope.
+	mdLink = regexp.MustCompile(`\]\(([^)#][^)]*)\)`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	packages := knownPackages(*root)
+	failures := 0
+	fail := func(file string, line int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", file, line, fmt.Sprintf(format, args...))
+		failures++
+	}
+
+	for _, rel := range checkedFiles {
+		path := filepath.Join(*root, rel)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fail(rel, 1, "checked file missing: %v", err)
+			continue
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			ln := i + 1
+			for _, m := range symbolRef.FindAllStringSubmatch(line, -1) {
+				pkg, sym := m[1], m[2]
+				dir, ok := packages[pkg]
+				if !ok {
+					continue // not a package reference (e.g. `json:"..."`)
+				}
+				if !packageMentions(dir, sym) {
+					fail(rel, ln, "`%s.%s`: no identifier %q in %s", pkg, sym, sym, dir)
+				}
+			}
+			for _, m := range pathRef.FindAllStringSubmatch(line, -1) {
+				p := strings.TrimSuffix(m[1], "/")
+				if strings.Contains(p, "*") || strings.HasPrefix(p, "http") {
+					continue // glob illustrations and URLs are prose, not paths
+				}
+				if !pathExists(*root, p) {
+					fail(rel, ln, "`%s`: no such file or directory", m[1])
+				}
+			}
+			if strings.HasSuffix(rel, ".md") {
+				for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+					target := m[1]
+					if strings.Contains(target, "://") {
+						continue
+					}
+					if i := strings.IndexByte(target, '#'); i >= 0 {
+						target = target[:i]
+					}
+					resolved := filepath.Join(filepath.Dir(path), target)
+					if _, err := os.Stat(resolved); err != nil {
+						fail(rel, ln, "link target %q: %v", m[1], err)
+					}
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken reference(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: doc set is consistent with the tree")
+}
+
+// knownPackages maps package names to their source directories: every
+// internal/<name> directory plus the root "repro" facade.
+func knownPackages(root string) map[string]string {
+	pkgs := map[string]string{"repro": root}
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return pkgs
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			pkgs[e.Name()] = filepath.Join(root, "internal", e.Name())
+		}
+	}
+	return pkgs
+}
+
+// packageMentions reports whether ident occurs as a word in any
+// non-test Go file of dir. A word-boundary grep rather than a parse: it
+// accepts any real occurrence (declaration or use) and still catches the
+// drift that matters — symbols that no longer exist under that name.
+func packageMentions(dir, ident string) bool {
+	re := regexp.MustCompile(`\b` + regexp.QuoteMeta(ident) + `\b`)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return false
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		if re.Match(raw) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathExists resolves a doc path against the repo root, tolerating the
+// `cmd/foo` package-path style (a directory) as well as explicit files.
+func pathExists(root, p string) bool {
+	_, err := os.Stat(filepath.Join(root, p))
+	return err == nil
+}

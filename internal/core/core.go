@@ -135,6 +135,20 @@ type Spec struct {
 	// the output, which costs an extra O(n + classes·bins) pass; benchmarks
 	// of the algorithms themselves set it.
 	SkipAssessment bool
+	// Warm requests warm-start re-anonymization for the paper's three
+	// algorithms: the run is seeded from the engine's cached partition of an
+	// earlier epoch (appended rows assigned to their nearest clusters,
+	// deletion damage repaired locally, t restored by the finishing merge),
+	// so re-run cost after a small append/delete is proportional to the
+	// delta rather than the table. A warm run that finds no usable seed —
+	// first run at a (Algorithm, K, T) point, or a custom Partitioner —
+	// falls back to a cold run and caches its partition as the seed for the
+	// next one; Result.Warm reports which happened. Privacy guarantees are
+	// identical either way (k-anonymity at the effective k and MaxEMD <= T);
+	// only the partition, and with it utility, may differ from a cold run,
+	// within the bounds pinned by the warm utility tests. Ignored by the
+	// baselines, which always run cold.
+	Warm bool
 }
 
 // Config is the legacy name of Spec, kept so one-shot Anonymize callers
@@ -161,6 +175,10 @@ type Result struct {
 	// EffectiveK is the enforced minimum cluster size (Algorithm 3 raises
 	// it per Eq. 3-4).
 	EffectiveK int
+	// Warm describes the warm-start repair when the run was seeded from a
+	// cached earlier-epoch partition; nil for cold runs (including warm
+	// requests that found no usable seed and fell back).
+	Warm *WarmStats
 	// Privacy is an independent re-verification of the release (nil when
 	// Spec.SkipAssessment is set).
 	Privacy *privacy.Report

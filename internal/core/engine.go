@@ -37,15 +37,33 @@ type Engine struct {
 
 	mu    sync.Mutex
 	state *engineState
+
+	// warm is the warm-start partition cache: the latest successful
+	// partition per (Algorithm, K, T), in its epoch's row numbering,
+	// populated and consumed by warm runs (see Spec.Warm and warm.go).
+	warmMu sync.Mutex
+	warm   map[warmKey]warmEntry
 }
 
-// engineState is one immutable table epoch: Run snapshots it, Append swaps
-// in a successor, and in-flight runs keep working on the snapshot they
-// took.
+// engineState is one immutable table epoch: Run snapshots it, Append and
+// Delete swap in a successor, and in-flight runs keep working on the
+// snapshot they took.
 type engineState struct {
 	epoch int
 	table *dataset.Table
 	prep  *tclose.Prepared
+	// log records how each epoch transformed row ids: log[i] maps epoch i
+	// to epoch i+1 (len(log) == epoch). Warm runs replay it to carry a
+	// cached partition forward onto the snapshot's numbering.
+	log []epochChange
+}
+
+// epochChange is one epoch transition. Append epochs keep existing row ids
+// stable (oldToNew nil); deletion epochs carry the full old-to-new mapping
+// with -1 marking tombstoned rows.
+type epochChange struct {
+	appended int
+	oldToNew []int
 }
 
 // Progress is one coarse-grained progress event of an engine run; see
@@ -172,7 +190,79 @@ func (e *Engine) Append(rows ...[]any) error {
 	if err != nil {
 		return err
 	}
-	e.state = &engineState{epoch: st.epoch + 1, table: table, prep: prep}
+	e.state = &engineState{
+		epoch: st.epoch + 1,
+		table: table,
+		prep:  prep,
+		log:   appendLog(st.log, epochChange{appended: len(rows)}),
+	}
+	return nil
+}
+
+// appendLog extends an epoch log without aliasing the predecessor state's
+// backing array (snapshots are immutable; in-flight runs read their log
+// concurrently with later epochs being opened).
+func appendLog(log []epochChange, ch epochChange) []epochChange {
+	out := make([]epochChange, len(log)+1)
+	copy(out, log)
+	out[len(log)] = ch
+	return out
+}
+
+// Delete removes records by row id as a new table epoch — the tombstone
+// half of a continuously updated feed. Row ids refer to the current epoch's
+// numbering (duplicates are allowed); surviving rows are renumbered densely
+// in order. Unlike Append, a deletion cannot shrink the EMD prefix
+// geometry incrementally, so the substrate is rebuilt over the filtered
+// table — which makes every subsequent cold run bit-identical to a fresh
+// engine over that table by construction. Warm runs see the deletion
+// through the epoch log: tombstoned rows drop out of cached partitions and
+// the clusters that lost them are repaired. In-flight runs keep the epoch
+// they started on; on error nothing changes.
+func (e *Engine) Delete(rowIDs ...int) error {
+	if len(rowIDs) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.state
+	n := st.table.Len()
+	drop := make([]bool, n)
+	for _, r := range rowIDs {
+		if r < 0 || r >= n {
+			return fmt.Errorf("core: delete row %d out of range [0,%d)", r, n)
+		}
+		drop[r] = true
+	}
+	oldToNew := make([]int, n)
+	keep := make([]int, 0, n)
+	for r := 0; r < n; r++ {
+		if drop[r] {
+			oldToNew[r] = -1
+			continue
+		}
+		oldToNew[r] = len(keep)
+		keep = append(keep, r)
+	}
+	if len(keep) == 0 {
+		return errors.New("core: delete would remove every record")
+	}
+	table, err := st.table.Subset(keep)
+	if err != nil {
+		return err
+	}
+	prep, err := tclose.Prepare(table)
+	if err != nil {
+		return err
+	}
+	prep.Matrix().SetTuning(e.tun)
+	prep.Matrix().EnableIndexCache()
+	e.state = &engineState{
+		epoch: st.epoch + 1,
+		table: table,
+		prep:  prep,
+		log:   appendLog(st.log, epochChange{oldToNew: oldToNew}),
+	}
 	return nil
 }
 
@@ -224,8 +314,66 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 		maxEMD            float64
 		merges, swaps, ek int
 		anonymized        *dataset.Table
+		warmStats         *WarmStats
 		err               error
 	)
+	if res, ws, ok, werr := e.tryWarm(ctx, st, spec); werr != nil {
+		return nil, werr
+	} else if ok {
+		clusters, maxEMD, merges, swaps, ek = res.Clusters, res.MaxEMD, res.Merges, res.Swaps, res.EffectiveK
+		warmStats = ws
+	} else {
+		clusters, maxEMD, merges, swaps, ek, anonymized, err = e.runCold(ctx, st, spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.Warm && warmable(spec) {
+		e.storeWarm(spec, st, clusters, ek)
+	}
+	switch {
+	case anonymized != nil:
+		// IncognitoBaseline already produced its generalized release.
+	case spec.Algorithm == MondrianBaseline:
+		anonymized, err = generalization.Aggregate(st.table, clusters)
+	default:
+		anonymized, err = micro.Aggregate(st.table, clusters)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	sse, err := metrics.NormalizedSSE(st.table, anonymized)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Anonymized: anonymized,
+		Clusters:   clusters,
+		MaxEMD:     maxEMD,
+		Sizes:      micro.Sizes(clusters),
+		SSE:        sse,
+		Merges:     merges,
+		Swaps:      swaps,
+		EffectiveK: ek,
+		Warm:       warmStats,
+		Elapsed:    elapsed,
+	}
+	if !spec.SkipAssessment {
+		rep, err := assess(st.table, clusters)
+		if err != nil {
+			return nil, err
+		}
+		res.Privacy = rep
+	}
+	return res, nil
+}
+
+// runCold executes the cold partition path of Run — one full anonymization
+// of the snapshot's table by the selected algorithm.
+func (e *Engine) runCold(ctx context.Context, st *engineState, spec Spec) (
+	clusters []micro.Cluster, maxEMD float64, merges, swaps, ek int,
+	anonymized *dataset.Table, err error) {
 	switch spec.Algorithm {
 	case Merge:
 		var res *tclose.Result
@@ -268,44 +416,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 			anonymized, err = generalization.Recode(st.table, res.Levels, 0)
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", spec.Algorithm)
+		err = fmt.Errorf("core: unknown algorithm %v", spec.Algorithm)
 	}
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case anonymized != nil:
-		// IncognitoBaseline already produced its generalized release.
-	case spec.Algorithm == MondrianBaseline:
-		anonymized, err = generalization.Aggregate(st.table, clusters)
-	default:
-		anonymized, err = micro.Aggregate(st.table, clusters)
-	}
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	sse, err := metrics.NormalizedSSE(st.table, anonymized)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Anonymized: anonymized,
-		Clusters:   clusters,
-		MaxEMD:     maxEMD,
-		Sizes:      micro.Sizes(clusters),
-		SSE:        sse,
-		Merges:     merges,
-		Swaps:      swaps,
-		EffectiveK: ek,
-		Elapsed:    elapsed,
-	}
-	if !spec.SkipAssessment {
-		rep, err := assess(st.table, clusters)
-		if err != nil {
-			return nil, err
-		}
-		res.Privacy = rep
-	}
-	return res, nil
+	return clusters, maxEMD, merges, swaps, ek, anonymized, err
 }

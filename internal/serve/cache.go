@@ -18,6 +18,10 @@ type cacheKey struct {
 	k              int
 	t              float64
 	skipAssessment bool
+	// warm separates warm-mode and cold releases: a warm run seeded from an
+	// earlier epoch may yield a (validly anonymized) partition different from
+	// the cold one, and a cold=true client asked for exactly the cold one.
+	warm bool
 }
 
 // resultCache is a small mutex-guarded LRU over completed results. Results

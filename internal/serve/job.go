@@ -220,6 +220,13 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 		j.res = res
 		s.metrics.runs.Add(1)
 		s.metrics.observe(j.finished.Sub(j.started))
+		if res.Warm != nil {
+			s.metrics.warmHits.Add(1)
+			s.metrics.warmRepairRows.Add(int64(res.Warm.ScopeRows))
+			s.metrics.warmRepairClusters.Add(int64(res.Warm.Folded + res.Warm.Split + res.Warm.Repaired))
+		} else if j.spec.Warm {
+			s.metrics.warmMisses.Add(1)
+		}
 		if !j.noCache && j.spec.Partitioner == nil {
 			s.cache.put(cacheKeyOf(j.ds.name, j.epoch, j.spec), res)
 		}
@@ -262,5 +269,6 @@ func cacheKeyOf(dataset string, epoch int, spec core.Spec) cacheKey {
 		k:              spec.K,
 		t:              spec.T,
 		skipAssessment: spec.SkipAssessment,
+		warm:           spec.Warm,
 	}
 }

@@ -29,6 +29,11 @@ type metrics struct {
 	inFlight   atomic.Int64 // jobs currently executing
 	transients atomic.Int64 // transient attempt failures observed
 
+	warmHits           atomic.Int64 // runs seeded from a warm partition
+	warmMisses         atomic.Int64 // warm-requested runs that fell back cold
+	warmRepairRows     atomic.Int64 // rows touched by warm repairs (scope)
+	warmRepairClusters atomic.Int64 // clusters folded/split/re-extracted warm
+
 	latMu   sync.Mutex
 	lat     [latWindow]time.Duration
 	latLen  int
@@ -86,6 +91,14 @@ type MetricsSnapshot struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 
+	// Warm-start KPIs: hit/miss split of warm-eligible runs, plus the repair
+	// scope actually touched — the numbers that show re-anonymization cost
+	// tracking the delta rather than the table.
+	WarmHits           int64 `json:"warm_hits"`
+	WarmMisses         int64 `json:"warm_misses"`
+	WarmRepairRows     int64 `json:"warm_repair_rows"`
+	WarmRepairClusters int64 `json:"warm_repair_clusters"`
+
 	QueueDepth    int   `json:"queue_depth"`
 	QueueCapacity int   `json:"queue_capacity"`
 	InFlight      int64 `json:"jobs_in_flight"`
@@ -110,8 +123,12 @@ func (s *Server) snapshotMetrics() MetricsSnapshot {
 		Timeouts:      s.metrics.timeouts.Load(),
 		Canceled:      s.metrics.cancels.Load(),
 		Shed:          s.metrics.shed.Load(),
-		CacheHits:     s.metrics.cacheHits.Load(),
-		CacheMisses:   s.metrics.cacheMiss.Load(),
+		CacheHits:          s.metrics.cacheHits.Load(),
+		CacheMisses:        s.metrics.cacheMiss.Load(),
+		WarmHits:           s.metrics.warmHits.Load(),
+		WarmMisses:         s.metrics.warmMisses.Load(),
+		WarmRepairRows:     s.metrics.warmRepairRows.Load(),
+		WarmRepairClusters: s.metrics.warmRepairClusters.Load(),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		InFlight:      s.metrics.inFlight.Load(),

@@ -21,7 +21,11 @@
 //     whatever remains.
 //
 // Identical submissions are served from a keyed result cache over
-// (dataset, epoch, Spec) without re-running the engine. The
+// (dataset, epoch, Spec) without re-running the engine. Jobs on the
+// paper's three algorithms run warm by default: after an append or delete
+// epoch the engine repairs its cached partition locally instead of
+// recomputing from scratch (cold=true per job opts out), and /metrics
+// reports the warm hit/miss split plus the repair scope. The
 // internal/serve/faultinject subpackage can inject panics, slowdowns and
 // transient failures so the conformance suite proves each degradation
 // path end to end.
@@ -170,6 +174,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppend)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}/rows", s.handleDeleteRows)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -409,6 +414,40 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleDeleteRows removes records by current row id, advancing the dataset
+// one tombstone epoch. Like Append it is serialized with runs under runMu so
+// the epoch a job records is exactly the epoch it executed against; warm
+// seeds cached for earlier epochs are remapped through the tombstones on the
+// next warm job rather than discarded.
+func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
+	ds := s.dataset(r.PathValue("name"))
+	if ds == nil {
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	var req struct {
+		Rows []int `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing body: "+err.Error())
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, "no rows")
+		return
+	}
+	ds.runMu.Lock()
+	err := ds.eng.Delete(req.Rows...)
+	ds.runMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": ds.name, "rows": ds.eng.Len(), "epoch": ds.eng.Epoch(),
+	})
+}
+
 // --- jobs ---
 
 type submitRequest struct {
@@ -419,6 +458,13 @@ type submitRequest struct {
 	TimeoutMillis  int64   `json:"timeout_ms"`
 	SkipAssessment bool    `json:"skip_assessment"`
 	NoCache        bool    `json:"no_cache"`
+	// Cold opts this job out of warm-start re-anonymization. By default the
+	// paper's three algorithms run with core.Spec.Warm set, so a re-run after
+	// an append/delete epoch is repaired from the previous partition instead
+	// of recomputed from scratch; cold=true forces a from-scratch run that
+	// neither reads nor seeds the engine's warm cache. Baselines always run
+	// cold regardless.
+	Cold bool `json:"cold"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -438,6 +484,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := core.Spec{Algorithm: alg, K: req.K, T: req.T, SkipAssessment: req.SkipAssessment}
+	// Warm by default for the paper's algorithms; cold=true is the escape
+	// hatch. Baselines never set Warm, keeping their cache keys stable.
+	switch alg {
+	case core.Merge, core.KAnonymityFirst, core.TClosenessFirst:
+		spec.Warm = !req.Cold
+	}
 	if err := core.ValidateSpec(spec); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -618,6 +670,17 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			"avg": res.Sizes.Avg, "num": res.Sizes.Num,
 		},
 		"release_csv": csv.String(),
+	}
+	if res.Warm != nil {
+		doc["warm"] = map[string]any{
+			"seed_epoch":    res.Warm.SeedEpoch,
+			"seed_clusters": res.Warm.SeedClusters,
+			"assigned":      res.Warm.Assigned,
+			"folded":        res.Warm.Folded,
+			"split":         res.Warm.Split,
+			"repaired":      res.Warm.Repaired,
+			"scope_rows":    res.Warm.ScopeRows,
+		}
 	}
 	if res.Privacy != nil {
 		doc["privacy"] = map[string]any{

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// patientRow is a valid row for the "patients" synthetic schema (8 numeric
+// columns: age, zip, admit day, stay, severity, sex, ward, charge).
+func patientRow(i int) []any {
+	return []any{
+		float64(30 + i%40), float64(90000 + i%25), float64(1 + i%28),
+		float64(1 + i%9), float64(i % 4), float64(i % 2), float64(i % 6),
+		float64(800 + 37*i),
+	}
+}
+
+// submitAndWait submits a job and waits for it to finish done, returning the
+// result document.
+func submitAndWait(t *testing.T, base string, req map[string]any) map[string]any {
+	t.Helper()
+	code, doc, _ := submit(t, base, req)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit %v: status %d (%v)", req, code, doc)
+	}
+	final := waitJob(t, base, jobID(t, doc), 60*time.Second)
+	if final["state"] != string(JobDone) {
+		t.Fatalf("job finished %v: %v", final["state"], final["error"])
+	}
+	code, res, _ := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%.0f/result", base, jobID(t, doc)), nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d (%v)", code, res)
+	}
+	return res
+}
+
+// TestServeWarmLifecycle drives the warm-start contract over HTTP: the first
+// warm-eligible job is a warm miss that seeds the cache, a job after an
+// append epoch is a warm hit whose repair scope is the delta, a job after a
+// delete epoch stays warm, and /metrics exposes the hit/miss split and
+// repair scope.
+func TestServeWarmLifecycle(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	registerSynth(t, ts.URL, "patients", "patients", 500)
+
+	req := map[string]any{
+		"dataset": "patients", "algorithm": "alg2", "k": 2, "t": 0.15,
+		"skip_assessment": true,
+	}
+
+	// First run: warm by default, but no seed exists yet — a warm miss that
+	// runs cold and seeds the cache. The result carries no warm block.
+	res := submitAndWait(t, ts.URL, req)
+	if res["warm"] != nil {
+		t.Fatalf("first run should be a warm miss, got warm block %v", res["warm"])
+	}
+	if got := s.metrics.warmMisses.Load(); got != 1 {
+		t.Fatalf("warmMisses = %d, want 1", got)
+	}
+
+	// Append 10 rows: the next job sees a new epoch, misses the result
+	// cache, and repairs the seeded partition instead of running cold.
+	rows := make([][]any, 10)
+	for i := range rows {
+		rows[i] = patientRow(i)
+	}
+	code, doc, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/patients/rows", map[string]any{"rows": rows})
+	if code != http.StatusOK || doc["epoch"].(float64) != 1 {
+		t.Fatalf("append: %d %v", code, doc)
+	}
+	res = submitAndWait(t, ts.URL, req)
+	warm, ok := res["warm"].(map[string]any)
+	if !ok {
+		t.Fatalf("post-append run is not warm: %v", res)
+	}
+	if warm["seed_epoch"].(float64) != 0 || warm["assigned"].(float64) != 10 {
+		t.Fatalf("warm block: %v", warm)
+	}
+	if got := s.metrics.warmHits.Load(); got != 1 {
+		t.Fatalf("warmHits = %d, want 1", got)
+	}
+
+	// Delete a few rows: a tombstone epoch. The cached seed is remapped, so
+	// the follow-up job is again a warm hit over the filtered table.
+	code, doc, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/patients/rows", map[string]any{"rows": []int{3, 99, 205}})
+	if code != http.StatusOK || doc["epoch"].(float64) != 2 || doc["rows"].(float64) != 507 {
+		t.Fatalf("delete: %d %v", code, doc)
+	}
+	res = submitAndWait(t, ts.URL, req)
+	if _, ok := res["warm"].(map[string]any); !ok {
+		t.Fatalf("post-delete run is not warm: %v", res)
+	}
+	if got := s.metrics.warmHits.Load(); got != 2 {
+		t.Fatalf("warmHits = %d, want 2", got)
+	}
+
+	// The metrics document exposes the warm KPI fields.
+	code, m, _ := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m["warm_hits"].(float64) != 2 || m["warm_misses"].(float64) != 1 {
+		t.Fatalf("metrics warm split: hits %v misses %v", m["warm_hits"], m["warm_misses"])
+	}
+	if m["warm_repair_rows"].(float64) <= 0 {
+		t.Fatalf("warm_repair_rows = %v, want > 0", m["warm_repair_rows"])
+	}
+}
+
+// TestServeColdEscapeHatch pins the cold=true escape hatch: the job runs
+// from scratch with no warm block, and warm and cold releases occupy
+// distinct result-cache slots.
+func TestServeColdEscapeHatch(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	registerSynth(t, ts.URL, "patients", "patients", 400)
+
+	warmReq := map[string]any{
+		"dataset": "patients", "algorithm": "alg1", "k": 3, "t": 0.2,
+		"skip_assessment": true,
+	}
+	coldReq := map[string]any{
+		"dataset": "patients", "algorithm": "alg1", "k": 3, "t": 0.2,
+		"skip_assessment": true, "cold": true,
+	}
+
+	submitAndWait(t, ts.URL, warmReq)
+	if got := s.metrics.warmMisses.Load(); got != 1 {
+		t.Fatalf("warmMisses = %d, want 1", got)
+	}
+
+	// The cold job has a different cache key, so it queues and re-runs; it
+	// never counts toward the warm split.
+	code, doc, _ := submit(t, ts.URL, coldReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("cold submit should miss the cache: %d (%v)", code, doc)
+	}
+	final := waitJob(t, ts.URL, jobID(t, doc), 60*time.Second)
+	if final["state"] != string(JobDone) {
+		t.Fatalf("cold job: %v (%v)", final["state"], final["error"])
+	}
+	if got := s.metrics.warmMisses.Load(); got != 1 {
+		t.Fatalf("cold run counted as warm miss: warmMisses = %d", got)
+	}
+
+	// Both releases are now cached under their own keys.
+	code, doc, _ = submit(t, ts.URL, warmReq)
+	if code != http.StatusOK || doc["cached"] != true {
+		t.Fatalf("warm resubmit should hit the cache: %d %v", code, doc)
+	}
+	code, doc, _ = submit(t, ts.URL, coldReq)
+	if code != http.StatusOK || doc["cached"] != true {
+		t.Fatalf("cold resubmit should hit the cache: %d %v", code, doc)
+	}
+}
+
+// TestServeDeleteRowsErrors pins the deletion endpoint's rejection paths:
+// unknown dataset, empty and out-of-range ids, delete-everything — all
+// without advancing the epoch.
+func TestServeDeleteRowsErrors(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	registerSynth(t, ts.URL, "patients", "small", 60)
+
+	code, _, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/nope/rows", map[string]any{"rows": []int{0}})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown dataset: %d, want 404", code)
+	}
+	cases := []map[string]any{
+		{"rows": []int{}},
+		{"rows": []int{60}},
+		{"rows": []int{-1}},
+	}
+	for i, body := range cases {
+		code, doc, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/small/rows", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("case %d: %d (%v), want 400", i, code, doc)
+		}
+	}
+	// Deleting every record is rejected by the engine.
+	all := make([]int, 60)
+	for i := range all {
+		all[i] = i
+	}
+	code, doc, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/small/rows", map[string]any{"rows": all})
+	if code != http.StatusBadRequest {
+		t.Fatalf("delete-all: %d (%v), want 400", code, doc)
+	}
+	code, info, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/small", nil)
+	if code != http.StatusOK || info["epoch"].(float64) != 0 || info["rows"].(float64) != 60 {
+		t.Fatalf("failed deletes changed the dataset: %v", info)
+	}
+}

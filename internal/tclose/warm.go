@@ -1,0 +1,469 @@
+package tclose
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/micro"
+	"repro/internal/par"
+)
+
+// WarmSeed is a previous epoch's partition mapped into the current epoch's
+// row numbering, the starting point of a warm-start re-anonymization. The
+// engine layer (internal/core) builds seeds from its warm partition cache:
+// append epochs leave row ids untouched, deletion epochs remap survivors and
+// drop tombstoned rows, marking every cluster that lost a member Dirty.
+type WarmSeed struct {
+	// Clusters is the seed partition over current row ids. Rows of the
+	// current table not covered by any cluster are treated as appended since
+	// the seed epoch and assigned to their nearest cluster. Empty clusters
+	// (fully tombstoned) are skipped.
+	Clusters []micro.Cluster
+	// Dirty flags clusters that lost rows to deletion epochs; they join the
+	// repair frontier even if they received no appended rows.
+	Dirty []bool
+	// EffectiveK is the cluster size the seed run enforced (the Eq. 3-4
+	// adjusted k' for Algorithm 3, the plain k otherwise). Repair enforces
+	// max(EffectiveK, k).
+	EffectiveK int
+}
+
+// WarmStats quantifies how much work a warm-start repair actually did — the
+// evidence that re-run cost is proportional to the delta, surfaced through
+// core.Result and the serving layer's /metrics.
+type WarmStats struct {
+	// SeedClusters is the number of non-empty seed clusters.
+	SeedClusters int
+	// Assigned is the number of uncovered (appended) rows assigned to their
+	// nearest seed cluster.
+	Assigned int
+	// Folded is the number of undersized clusters folded into their
+	// QI-nearest neighbor.
+	Folded int
+	// Split is the number of oversized clusters re-partitioned by MDAV.
+	Split int
+	// Repaired is the number of dirty t-violating clusters dissolved into
+	// the swap re-extraction pool (k-anonymity-first repair only).
+	Repaired int
+	// ScopeRows is the number of distinct rows inside the repair frontier:
+	// assigned rows plus every row of a folded, split, or dissolved cluster.
+	// Rows of clean clusters are never touched before the finishing merge.
+	ScopeRows int
+}
+
+// ErrBadSeed rejects warm seeds that do not partition a subset of the
+// current table's rows.
+var ErrBadSeed = errors.New("tclose: invalid warm seed")
+
+// WarmRepair re-anonymizes the current table starting from a previous
+// epoch's partition instead of from scratch: uncovered rows are assigned to
+// their QI-nearest seed cluster, undersized clusters (deletion damage) are
+// folded into their nearest neighbor, oversized clusters are re-split with
+// MDAV, and — when swapRepair is set, the k-anonymity-first repair —
+// dirty clusters still beyond t are dissolved into a pool and re-extracted
+// with the same swap refinement a cold Algorithm 2 run uses. The finishing
+// merge loop of Algorithm 1 then restores the t-closeness guarantee exactly
+// as it does for every cold run, so the result always satisfies
+// k-anonymity (at the seed's effective k) and t-closeness; only utility,
+// not privacy, depends on the seed's quality.
+//
+// The repair touches only the affected frontier (WarmStats.ScopeRows):
+// clean clusters are carried over untouched, which is what makes a small
+// append re-run cost proportional to the delta rather than the table.
+func (prep *Prepared) WarmRepair(run Run, k int, tLevel float64, seed WarmSeed, swapRepair bool) (*Result, *WarmStats, error) {
+	p, err := prep.newRun(run, k, tLevel)
+	if err != nil {
+		return nil, nil, err
+	}
+	effK := seed.EffectiveK
+	if effK < p.k {
+		effK = p.k
+	}
+	n := p.table.Len()
+
+	// Validate the seed and copy the live clusters: the repair mutates row
+	// slices freely, the caller's seed must survive intact.
+	covered := make([]bool, n)
+	var rows [][]int
+	var dirty []bool
+	touched := make([]bool, n) // repair frontier membership
+	for ci, c := range seed.Clusters {
+		if len(c.Rows) == 0 {
+			continue
+		}
+		for _, r := range c.Rows {
+			if r < 0 || r >= n {
+				return nil, nil, fmt.Errorf("%w: row %d out of range [0,%d)", ErrBadSeed, r, n)
+			}
+			if covered[r] {
+				return nil, nil, fmt.Errorf("%w: row %d in two clusters", ErrBadSeed, r)
+			}
+			covered[r] = true
+		}
+		rows = append(rows, append([]int(nil), c.Rows...))
+		d := ci < len(seed.Dirty) && seed.Dirty[ci]
+		dirty = append(dirty, d)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("%w: no non-empty clusters", ErrBadSeed)
+	}
+	stats := &WarmStats{SeedClusters: len(rows)}
+
+	// added counts rows assigned to each cluster, the pile-up measure the
+	// split pass triggers on.
+	added := make([]int, len(rows))
+
+	// Assign every uncovered (appended) row to the cluster whose seed
+	// centroid is QI-nearest. Targets are the pre-assignment centroids, so
+	// the result is independent of assignment order; ties break toward the
+	// lower cluster index via the Searcher's (distance, index) order.
+	var newRows []int
+	for r := 0; r < n; r++ {
+		if !covered[r] {
+			newRows = append(newRows, r)
+		}
+	}
+	if len(newRows) > 0 {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
+		cents := make([][]float64, len(rows))
+		for i, rs := range rows {
+			cents[i] = micro.Centroid(p.points, rs)
+		}
+		cm := micro.NewMatrix(cents)
+		cm.SetTuning(p.mat.TuningOf())
+		idxs := make([]int, len(cents))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		search := cm.NewSearcher(idxs)
+		for done, r := range newRows {
+			if done%256 == 0 {
+				if err := p.interrupted(); err != nil {
+					return nil, nil, err
+				}
+				p.reportProgress("repair", done, len(newRows))
+			}
+			ci := search.Nearest(idxs, p.mat.Row(r))
+			rows[ci] = append(rows[ci], r)
+			dirty[ci] = true
+			added[ci]++
+			touched[r] = true
+		}
+		stats.Assigned = len(newRows)
+	}
+
+	alive := make([]bool, len(rows))
+	for i := range alive {
+		alive[i] = true
+	}
+	nAlive := len(rows)
+
+	// Fold undersized clusters (deletion damage) into their QI-nearest live
+	// neighbor. The scan restarts from the lowest index after each fold —
+	// deterministic, and the undersized population is bounded by the number
+	// of clusters deletions touched, not the table.
+	for {
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
+		small := -1
+		for i := range rows {
+			if alive[i] && len(rows[i]) < effK {
+				small = i
+				break
+			}
+		}
+		if small < 0 || nAlive <= 1 {
+			break
+		}
+		sc := micro.Centroid(p.points, rows[small])
+		best, bestD := -1, 0.0
+		for j := range rows {
+			if !alive[j] || j == small {
+				continue
+			}
+			if d := micro.Dist2(sc, micro.Centroid(p.points, rows[j])); best < 0 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, r := range rows[small] {
+			touched[r] = true
+		}
+		rows[best] = append(rows[best], rows[small]...)
+		dirty[best] = true
+		alive[small] = false
+		rows[small] = nil
+		nAlive--
+		stats.Folded++
+	}
+
+	// Re-split clusters where assigned rows piled up — at least a full
+	// cluster's worth, and at least as many as the rows carried over — with
+	// MDAV, so a hot spot in the appended delta cannot degrade utility.
+	// Absolute size is deliberately not the trigger: large clusters built
+	// by the seed's own merge step are legitimate, and a handful of
+	// assignments into one must not re-partition it, or a local repair
+	// would turn into a global rerun.
+	for i := 0; i < len(added); i++ {
+		if !alive[i] || added[i] < effK || added[i]*2 < len(rows[i]) || len(rows[i]) < 2*effK {
+			continue
+		}
+		if err := p.interrupted(); err != nil {
+			return nil, nil, err
+		}
+		members := rows[i]
+		pts := make([][]float64, len(members))
+		for j, r := range members {
+			pts[j] = p.points[r]
+		}
+		sub := micro.NewMatrix(pts)
+		sub.SetTuning(p.mat.TuningOf())
+		parts, err := micro.MDAVMatrixCtx(p.run.Ctx, sub, effK)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range members {
+			touched[r] = true
+		}
+		for pi, part := range parts {
+			mapped := make([]int, len(part.Rows))
+			for j, lr := range part.Rows {
+				mapped[j] = members[lr]
+			}
+			if pi == 0 {
+				rows[i] = mapped
+			} else {
+				rows = append(rows, mapped)
+				dirty = append(dirty, true)
+				alive = append(alive, true)
+				nAlive++
+			}
+		}
+		stats.Split++
+	}
+
+	// One reusable scratch histogram per confidential space computes every
+	// per-cluster EMD of the repair in O(rows·log m) incremental updates —
+	// allocating a fresh O(m) histogram per cluster, as the cold merge
+	// machinery can afford to, would cost more than the entire repair on
+	// high-cardinality confidential attributes.
+	scratch := make(histSet, len(p.spaces))
+	for i, s := range p.spaces {
+		scratch[i] = s.NewHist()
+	}
+
+	// Swap-based repair (the k-anonymity-first mode): dirty clusters still
+	// beyond t are dissolved into one pool and re-extracted with the same
+	// GenerateCluster refinement a cold Algorithm 2 run uses, confined to
+	// the frontier instead of the table. Only meaningful when the enforced
+	// cluster size is the run's own k (it always is for Algorithm 2).
+	var swaps int
+	if swapRepair && effK == p.k {
+		var pool []int
+		for i := range rows {
+			if !alive[i] || !dirty[i] {
+				continue
+			}
+			if err := p.interrupted(); err != nil {
+				return nil, nil, err
+			}
+			if scratch.emdOf(rows[i]) <= p.t {
+				continue
+			}
+			pool = append(pool, rows[i]...)
+			alive[i] = false
+			rows[i] = nil
+			nAlive--
+			stats.Repaired++
+		}
+		if len(pool) > 0 {
+			slices.Sort(pool)
+			for _, r := range pool {
+				touched[r] = true
+			}
+			reclusters, s, err := p.partitionPool(pool)
+			if err != nil {
+				return nil, nil, err
+			}
+			swaps = s
+			for _, c := range reclusters {
+				rows = append(rows, c.Rows)
+				alive = append(alive, true)
+				nAlive++
+			}
+		}
+	}
+
+	for r := 0; r < n; r++ {
+		if touched[r] {
+			stats.ScopeRows++
+		}
+	}
+
+	// The finishing merge loop restores the t-closeness guarantee over the
+	// whole partition with the same policy as every cold Algorithm 1/2 run
+	// (worst-EMD cluster merges with its QI-nearest neighbor): clean
+	// clusters whose EMD drifted over t under the shifted data set
+	// distribution are handled here too. It runs on the scratch histogram
+	// instead of per-cluster ones, so a repair with few or no violations
+	// costs one incremental pass over the rows.
+	final := make([][]int, 0, nAlive)
+	for i := range rows {
+		if alive[i] {
+			final = append(final, rows[i])
+		}
+	}
+	merged, merges, maxEMD, err := p.warmMergeUntilTClose(final, scratch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{
+		Clusters:   merged,
+		MaxEMD:     maxEMD,
+		Merges:     merges,
+		Swaps:      swaps,
+		EffectiveK: effK,
+	}, stats, nil
+}
+
+// emdOf computes the maximum EMD of a record set across the scratch
+// histogram set, leaving the scratch empty again: O(rows·log m) incremental
+// updates with no per-call allocation.
+func (hs histSet) emdOf(rows []int) float64 {
+	for _, r := range rows {
+		hs.add(r)
+	}
+	d := hs.emd()
+	for _, r := range rows {
+		hs.remove(r)
+	}
+	return d
+}
+
+// warmMergeUntilTClose is Algorithm 1's merge loop re-expressed over the
+// scratch histogram: identical policy (pop the worst-EMD cluster, merge it
+// with the QI-centroid-nearest live cluster, tie-breaking on the same
+// (value, index) keys), but cluster EMDs come from incremental scratch
+// passes instead of per-cluster O(m) histograms. A warm repair with no
+// violations therefore costs one pass over the rows — the cold mergeState,
+// built for runs that merge thousands of clusters, would spend more time
+// allocating histograms than the whole repair. It additionally returns the
+// partition's final maximum EMD (a byproduct of the bookkeeping).
+func (p *problem) warmMergeUntilTClose(clusters [][]int, scratch histSet) ([]micro.Cluster, int, float64, error) {
+	n := len(clusters)
+	emds := make([]float64, n)
+	cents := make([][]float64, n)
+	alive := make([]bool, n)
+	nAlive := n
+	var worst worstHeap
+	for i, rows := range clusters {
+		emds[i] = scratch.emdOf(rows)
+		cents[i] = micro.Centroid(p.points, rows)
+		alive[i] = true
+		if emds[i] > p.t {
+			worst.push(worstEntry{emd: emds[i], idx: i})
+		}
+	}
+	merges := 0
+	for nAlive > 1 {
+		if err := p.interrupted(); err != nil {
+			return nil, 0, 0, err
+		}
+		var w int
+		for {
+			if len(worst) == 0 {
+				w = -1
+				break
+			}
+			e := worst.pop()
+			if alive[e.idx] && emds[e.idx] == e.emd {
+				w = e.idx
+				break
+			}
+		}
+		if w < 0 {
+			break
+		}
+		eval := func(j int) float64 {
+			if !alive[j] || j == w {
+				return math.Inf(1)
+			}
+			return micro.Dist2(cents[w], cents[j])
+		}
+		workers := 1
+		if p.workers >= 2 && nAlive >= mergePartnerParMin {
+			workers = p.workers
+		}
+		closest := par.ArgminFloat64(len(clusters), workers, eval)
+		if closest < 0 || !alive[closest] || closest == w {
+			break
+		}
+		na, nb := float64(len(clusters[w])), float64(len(clusters[closest]))
+		clusters[w] = append(clusters[w], clusters[closest]...)
+		emds[w] = scratch.emdOf(clusters[w])
+		ca, cb := cents[w], cents[closest]
+		for j := range ca {
+			ca[j] = (ca[j]*na + cb[j]*nb) / (na + nb)
+		}
+		alive[closest] = false
+		clusters[closest] = nil
+		nAlive--
+		if emds[w] > p.t {
+			worst.push(worstEntry{emd: emds[w], idx: w})
+		}
+		merges++
+		p.reportProgress("merge", merges, 0)
+	}
+	out := make([]micro.Cluster, 0, nAlive)
+	maxEMD := 0.0
+	for i, rows := range clusters {
+		if !alive[i] {
+			continue
+		}
+		out = append(out, micro.Cluster{Rows: rows})
+		if emds[i] > maxEMD {
+			maxEMD = emds[i]
+		}
+	}
+	return out, merges, maxEMD, nil
+}
+
+// partitionPool is kAnonymityFirstPartition confined to a row subset: the
+// same farthest-pair seeding and swap refinement, with the pool centroid
+// recomputed per round (the pool is a repair frontier, not the table, so
+// the O(|pool|·d) rescan is cheap) and no interval-jump engine (the jump
+// engine's precomputed rank order covers the full table only).
+func (p *problem) partitionPool(pool []int) ([]micro.Cluster, int, error) {
+	avail := append([]int(nil), pool...)
+	search := p.mat.NewSearcher(avail)
+	cent := make([]float64, p.mat.Dim())
+	var clusters []micro.Cluster
+	swaps := 0
+	extract := func(x int) {
+		c, s := p.generateCluster(x, avail, search, nil)
+		swaps += s
+		avail = micro.FilterRows(avail, c, p.rowScratch)
+		search.Remove(c)
+		clusters = append(clusters, micro.Cluster{Rows: c})
+	}
+	for len(avail) > 0 {
+		if err := p.interrupted(); err != nil {
+			return nil, 0, err
+		}
+		x0 := search.Farthest(avail, p.mat.CentroidRows(avail, cent))
+		extract(x0)
+		if len(avail) == 0 {
+			break
+		}
+		x1 := search.Farthest(avail, p.mat.Row(x0))
+		extract(x1)
+	}
+	return clusters, swaps, nil
+}

@@ -11,23 +11,41 @@
 //   - preparing a reusable anonymization engine over a table (New) and
 //     running any of the paper's algorithms or the comparison baselines
 //     against it (Engine.Run, Spec), with context cancellation, engine-
-//     scoped tuning options, and epoch-based ingest (Engine.Append),
+//     scoped tuning options, and epoch-based ingest (Engine.Append,
+//     Engine.Delete) with warm-start re-anonymization (Spec.Warm),
 //   - verifying the released table's privacy level (Assess, KAnonymity,
 //     TCloseness), and
 //   - quantifying utility (NormalizedSSE).
 //
-// Quickstart:
+// See ARCHITECTURE.md at the repository root for the package map, the
+// determinism contract, and the full epoch lifecycle.
+//
+// # Lifecycle quickstart
+//
+// An engine lives through epochs: build once, run, ingest, re-run warm.
 //
 //	table := repro.CensusMCD() // or dataset built via NewTable/ReadCSV
 //	eng, err := repro.New(table)
-//	res, err := eng.Run(ctx, repro.Spec{
-//		Algorithm: repro.TClosenessFirst, K: 5, T: 0.15,
-//	})
-//	// res.Anonymized is the k-anonymous t-close release.
+//
+//	// Epoch 0: the initial release.
+//	spec := repro.Spec{Algorithm: repro.TClosenessFirst, K: 5, T: 0.15, Warm: true}
+//	res, err := eng.Run(ctx, spec)
+//	// res.Anonymized is the k-anonymous t-close release. With Spec.Warm
+//	// set, this first run also seeds the engine's warm cache.
+//
+//	// Epoch 1: a late batch arrives; epoch 2: records are retracted.
+//	err = eng.Append(rows...)        // row values, one []any per record
+//	err = eng.Delete(17, 63)         // current row ids; tombstone epoch
+//
+//	// Re-release: the warm run repairs the cached partition around the
+//	// delta instead of partitioning from scratch — re-run cost tracks the
+//	// delta, not the table. res.Warm reports the seed epoch and repair
+//	// scope; privacy guarantees are identical to a cold run.
+//	res, err = eng.Run(ctx, spec)
 //
 // The engine prepares the shared substrate — normalized quasi-identifier
 // geometry, the EMD dataset-prefix spaces, a lazily built spatial index —
-// once, so a parameter sweep pays for it a single time:
+// once per epoch, so a parameter sweep pays for it a single time:
 //
 //	for _, k := range []int{2, 5, 10} {
 //		for _, t := range []float64{0.05, 0.15, 0.25} {
@@ -38,10 +56,11 @@
 //		}
 //	}
 //
-// Runs are safe to issue concurrently, cancel promptly when ctx does, and
-// new records can be ingested between runs with eng.Append(rows...) — each
-// append opens a new table epoch whose runs are bit-identical to a fresh
-// engine over the concatenated table.
+// Runs are safe to issue concurrently and cancel promptly when ctx does.
+// Append opens a new table epoch whose runs are bit-identical to a fresh
+// engine over the concatenated table; Delete opens a tombstone epoch whose
+// runs are bit-identical to a fresh engine over the filtered table. Warm
+// runs that find no usable seed fall back to a cold run transparently.
 //
 // # Parallel determinism contract
 //
@@ -64,8 +83,9 @@
 //
 // For long-lived deployments the library ships as a service: cmd/tcserved
 // exposes dataset registration, asynchronous anonymization jobs over
-// prepared engines, epoch appends, and ops endpoints (/healthz, /metrics)
-// over HTTP. The serving layer (internal/serve) adds the robustness the
+// prepared engines, epoch appends and deletes (warm re-anonymization by
+// default, cold=true per job opts out), and ops endpoints (/healthz,
+// /metrics) over HTTP. The serving layer (internal/serve) adds the robustness the
 // library deliberately leaves to callers — worker panics are captured by
 // internal/par and surface as one failed job rather than a dead process,
 // every job runs under a deadline, a bounded queue sheds overload with
@@ -147,6 +167,9 @@ type (
 	// Result is an anonymization outcome: the released table plus privacy
 	// and utility diagnostics.
 	Result = core.Result
+	// WarmStats describes how a warm-start run (Spec.Warm) was seeded and
+	// how much local repair it did; Result.Warm is nil for cold runs.
+	WarmStats = core.WarmStats
 	// Algorithm selects which of the paper's methods to run.
 	Algorithm = core.Algorithm
 	// Cluster is a group of record indices sharing aggregated
@@ -220,8 +243,8 @@ func NormalizedSSE(original, anonymized *Table) (float64, error) {
 	return metrics.NormalizedSSE(original, anonymized)
 }
 
-// Synthetic evaluation data sets (deterministic; see package synth and
-// DESIGN.md §4 for how they substitute the paper's data).
+// Synthetic evaluation data sets (deterministic; see package synth for how
+// they substitute the paper's data).
 var (
 	// CensusMCD returns the 1,080-record moderately correlated Census-like
 	// data set (QI↔confidential correlation ≈ 0.52).
