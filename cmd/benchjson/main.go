@@ -10,6 +10,15 @@
 // partition, see core.Spec.Warm). The pair documents the warm-start
 // speedup as part of the same evidence trajectory.
 //
+// The sharded family (variants "sharded-w1" ... "sharded-w8") times
+// KAnonymityFirst under sharded partition construction (core.Spec.Sharded)
+// at worker budgets 1/2/4/8, recording the scaling curve of concurrent
+// cluster construction. The curve falls even on a single-core host — the
+// cluster loop is superlinear in pool size, so W shards of n/W rows cost
+// less in total than one n-row pool (divide-and-conquer), on top of
+// whatever true parallelism the cores provide; w1 delegates to the serial
+// algorithm and documents the mode's overhead floor.
+//
 // Each measured run goes through a freshly prepared core.Engine whose
 // substrate preparation happens outside the timed region: a cell times the
 // algorithm itself, with cold partition caches, so the trajectory stays
@@ -46,8 +55,9 @@ import (
 // then defaults to the report-level N). The algorithm serializes as its
 // canonical name via core.Algorithm's encoding.TextMarshaler. Variant is
 // empty for the classic from-scratch grid; the delta-append family labels
-// its cells "delta-cold" and "delta-warm" (reports written before the
-// family existed simply have no variant cells).
+// its cells "delta-cold" and "delta-warm", the sharded family
+// "sharded-w<workers>" (reports written before a family existed simply
+// have no cells with its variants).
 type Cell struct {
 	Algorithm core.Algorithm `json:"algorithm"`
 	K         int            `json:"k"`
@@ -195,6 +205,44 @@ func main() {
 				})
 				fmt.Fprintf(os.Stderr, "%v n=%d t=%.2f %s: %v\n", alg, size, deltaT, variant, best.Round(time.Microsecond))
 			}
+		}
+	}
+	// Sharded family: concurrent cluster construction at a sweep of worker
+	// budgets, at the grid's middle t. Each rep gets a fresh engine (cold
+	// caches, same discipline as every other family); the worker budget is
+	// engine-scoped, so each budget is its own engine configuration.
+	const shardedT = 0.13
+	for _, size := range sizes {
+		tbl := synth.PatientDischarge(size, synth.DefaultSeed)
+		for _, w := range []int{1, 2, 4, 8} {
+			spec := core.Spec{Algorithm: core.KAnonymityFirst, K: 2, T: shardedT,
+				SkipAssessment: true, Sharded: true}
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				eng, err := core.NewEngine(tbl, core.WithWorkers(w))
+				if err != nil {
+					log.Fatalf("n=%d: %v", size, err)
+				}
+				start := time.Now()
+				if _, err := eng.Run(ctx, spec); err != nil {
+					log.Fatalf("%v n=%d sharded w=%d: %v", spec.Algorithm, size, w, err)
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			variant := fmt.Sprintf("sharded-w%d", w)
+			rep.Cells = append(rep.Cells, Cell{
+				Algorithm: spec.Algorithm,
+				K:         2,
+				T:         shardedT,
+				N:         size,
+				Variant:   variant,
+				NsOp:      best.Nanoseconds(),
+				Seconds:   best.Seconds(),
+			})
+			fmt.Fprintf(os.Stderr, "%v n=%d t=%.2f %s: %v\n",
+				spec.Algorithm, size, shardedT, variant, best.Round(time.Microsecond))
 		}
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")

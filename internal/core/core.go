@@ -135,6 +135,22 @@ type Spec struct {
 	// the output, which costs an extra O(n + classes·bins) pass; benchmarks
 	// of the algorithms themselves set it.
 	SkipAssessment bool
+	// Sharded requests sharded partition construction for Merge and
+	// KAnonymityFirst: the record space is split into disjoint k-d shards
+	// (one per engine worker, subject to a per-shard size floor), the
+	// cluster loop runs concurrently inside each shard, and a
+	// reconciliation pass repairs k/t violations along shard boundaries.
+	// k-anonymity and t-closeness hold exactly in the output, but the
+	// partition is NOT bit-identical to the serial one — cluster shapes
+	// near shard boundaries depend on the worker budget — which is why the
+	// mode is an explicit opt-in rather than a transparent optimization.
+	// With one worker (or a table too small to shard) the run delegates to
+	// the serial algorithm and IS bit-identical. Unsupported algorithms and
+	// custom Partitioners are rejected by ValidateSpec with
+	// ErrShardedUnsupported; sharded runs ignore Warm (they neither read
+	// nor seed the warm partition cache, whose entries are keyed by
+	// worker-independent serial results).
+	Sharded bool
 	// Warm requests warm-start re-anonymization for the paper's three
 	// algorithms: the run is seeded from the engine's cached partition of an
 	// earlier epoch (appended rows assigned to their nearest clusters,
@@ -213,6 +229,12 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 // cheap to reject as a parse error.
 var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
 
+// ErrShardedUnsupported rejects Spec.Sharded combined with an algorithm
+// (or a custom Partitioner) that has no sharded construction path; see
+// Spec.Sharded. Like the other domain sentinels it is returned before any
+// substrate work.
+var ErrShardedUnsupported = errors.New("core: sharded mode unsupported for this spec")
+
 // ValidateSpec checks a Spec's parameters against its algorithm's domain
 // without running anything, returning the same typed sentinel error the
 // run itself would: tclose.ErrBadK/ErrBadT for the paper's algorithms,
@@ -247,6 +269,16 @@ func ValidateSpec(spec Spec) error {
 		}
 	default:
 		return fmt.Errorf("%w %v", ErrUnknownAlgorithm, int(spec.Algorithm))
+	}
+	if spec.Sharded {
+		switch spec.Algorithm {
+		case Merge, KAnonymityFirst:
+			if spec.Partitioner != nil {
+				return fmt.Errorf("%w: custom partitioners see the whole point set and cannot run per shard", ErrShardedUnsupported)
+			}
+		default:
+			return fmt.Errorf("%w: algorithm %v", ErrShardedUnsupported, spec.Algorithm)
+		}
 	}
 	return nil
 }

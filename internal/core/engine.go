@@ -377,13 +377,21 @@ func (e *Engine) runCold(ctx context.Context, st *engineState, spec Spec) (
 	switch spec.Algorithm {
 	case Merge:
 		var res *tclose.Result
-		res, err = st.prep.Algorithm1(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T, spec.Partitioner)
+		if spec.Sharded {
+			res, err = st.prep.Algorithm1Sharded(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T)
+		} else {
+			res, err = st.prep.Algorithm1(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T, spec.Partitioner)
+		}
 		if err == nil {
 			clusters, maxEMD, merges, ek = res.Clusters, res.MaxEMD, res.Merges, res.EffectiveK
 		}
 	case KAnonymityFirst:
 		var res *tclose.Result
-		res, err = st.prep.Algorithm2(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T)
+		if spec.Sharded {
+			res, err = st.prep.Algorithm2Sharded(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T)
+		} else {
+			res, err = st.prep.Algorithm2(e.runOpts(ctx, spec.Algorithm), spec.K, spec.T)
+		}
 		if err == nil {
 			clusters, maxEMD, merges, swaps, ek = res.Clusters, res.MaxEMD, res.Merges, res.Swaps, res.EffectiveK
 		}

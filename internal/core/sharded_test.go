@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// The engine-level sharded-mode pins: privacy holds exactly through
+// Engine.Run, the default path stays bit-identical after a sharded run
+// shared the same engine (no cache aliasing between the modes), and
+// sharded runs stay out of the warm seed cache. The table is sized just
+// over twice the per-shard floor, so a multi-worker engine actually splits
+// it (two shards) while the test stays fast.
+
+const shardTestRows = 2200
+
+func shardTestSpec(alg Algorithm) Spec {
+	return Spec{Algorithm: alg, K: 3, T: 0.2, Sharded: true}
+}
+
+// TestShardedEngineRunPrivacyHolds runs both sharded algorithms through the
+// engine and checks the release against the independent privacy assessment.
+func TestShardedEngineRunPrivacyHolds(t *testing.T) {
+	tbl := synth.Census(shardTestRows, synth.FedTax, 3)
+	eng, err := NewEngine(tbl, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst} {
+		spec := shardTestSpec(alg)
+		res, err := eng.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", alg, err)
+		}
+		if res.Privacy == nil {
+			t.Fatalf("%v sharded: no privacy assessment", alg)
+		}
+		if res.Privacy.KAnonymity < spec.K {
+			t.Fatalf("%v sharded: assessed k-anonymity %d < k", alg, res.Privacy.KAnonymity)
+		}
+		if res.Privacy.TCloseness > spec.T {
+			t.Fatalf("%v sharded: assessed t-closeness %v > t", alg, res.Privacy.TCloseness)
+		}
+		if res.MaxEMD > spec.T {
+			t.Fatalf("%v sharded: MaxEMD %v > t", alg, res.MaxEMD)
+		}
+	}
+}
+
+// TestShardedDoesNotAliasSerialCaches pins the cache-separation contract:
+// a serial run on an engine that already executed sharded runs must be
+// bit-identical to a serial run on a fresh engine — neither the per-k
+// partition caches nor the warm seed cache may carry sharded state into
+// the default path.
+func TestShardedDoesNotAliasSerialCaches(t *testing.T) {
+	tbl := synth.Census(shardTestRows, synth.FedTax, 3)
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst} {
+		shared, err := NewEngine(tbl, WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shared.Run(context.Background(), shardTestSpec(alg)); err != nil {
+			t.Fatal(err)
+		}
+		serial := Spec{Algorithm: alg, K: 3, T: 0.2, SkipAssessment: true}
+		after, err := shared.Run(context.Background(), serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewEngine(tbl, WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Run(context.Background(), serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(after.Clusters, want.Clusters) {
+			t.Fatalf("%v: serial partition after a sharded run diverges from a fresh engine", alg)
+		}
+	}
+}
+
+// TestShardedStaysOutOfWarmCache pins both directions of the warm
+// exclusion: a sharded run neither seeds the warm cache (a later warm
+// serial run still starts cold) nor reads it (a sharded re-run after warm
+// seeding reports no warm repair).
+func TestShardedStaysOutOfWarmCache(t *testing.T) {
+	tbl := synth.Census(shardTestRows, synth.FedTax, 3)
+	eng, err := NewEngine(tbl, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := shardTestSpec(KAnonymityFirst)
+	spec.Warm = true // ignored: sharded runs are never warm-eligible
+	if res, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	} else if res.Warm != nil {
+		t.Fatal("sharded run reported a warm repair")
+	}
+	warmSerial := Spec{Algorithm: KAnonymityFirst, K: 3, T: 0.2, Warm: true, SkipAssessment: true}
+	res, err := eng.Run(context.Background(), warmSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm != nil {
+		t.Fatal("warm serial run found a seed; the sharded run must not have stored one")
+	}
+	// The serial warm miss above seeded the cache; a repeat is warm now,
+	// while a sharded re-run still is not.
+	if res, err := eng.Run(context.Background(), warmSerial); err != nil {
+		t.Fatal(err)
+	} else if res.Warm == nil {
+		t.Fatal("second warm serial run should have been seeded")
+	}
+	if res, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	} else if res.Warm != nil {
+		t.Fatal("sharded run consumed the warm cache")
+	}
+}

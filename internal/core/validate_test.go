@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/generalization"
+	"repro/internal/micro"
 	"repro/internal/sabre"
 	"repro/internal/synth"
 	"repro/internal/tclose"
@@ -30,6 +31,15 @@ func TestValidateSpecDomains(t *testing.T) {
 		{"sabre t>1", Spec{Algorithm: SABREBaseline, K: 3, T: 2}, sabre.ErrBadT},
 		{"unknown algorithm", Spec{Algorithm: Algorithm(99), K: 3, T: 0.2}, ErrUnknownAlgorithm},
 		{"negative algorithm", Spec{Algorithm: Algorithm(-1), K: 3, T: 0.2}, ErrUnknownAlgorithm},
+		{"sharded alg3", Spec{Algorithm: TClosenessFirst, K: 3, T: 0.2, Sharded: true}, ErrShardedUnsupported},
+		{"sharded mondrian", Spec{Algorithm: MondrianBaseline, K: 3, T: 0.2, Sharded: true}, ErrShardedUnsupported},
+		{"sharded sabre", Spec{Algorithm: SABREBaseline, K: 3, T: 0.2, Sharded: true}, ErrShardedUnsupported},
+		{"sharded incognito", Spec{Algorithm: IncognitoBaseline, K: 3, T: 0.2, Sharded: true}, ErrShardedUnsupported},
+		{"sharded custom partitioner", Spec{Algorithm: Merge, K: 3, T: 0.2, Sharded: true,
+			Partitioner: func(points [][]float64, k int) ([]micro.Cluster, error) { return nil, nil }}, ErrShardedUnsupported},
+		// Parameter domains are checked before the sharded gate, same order
+		// the run would fail in.
+		{"sharded alg2 k=0", Spec{Algorithm: KAnonymityFirst, K: 0, T: 0.2, Sharded: true}, tclose.ErrBadK},
 	}
 	for _, tc := range cases {
 		if err := ValidateSpec(tc.spec); !errors.Is(err, tc.want) {
@@ -42,6 +52,13 @@ func TestValidateSpecDomains(t *testing.T) {
 		MondrianBaseline, SABREBaseline, IncognitoBaseline} {
 		if err := ValidateSpec(Spec{Algorithm: alg, K: 3, T: 0.2}); err != nil {
 			t.Errorf("%v: valid spec rejected: %v", alg, err)
+		}
+	}
+
+	// Sharded is valid exactly for the two algorithms with a shard driver.
+	for _, alg := range []Algorithm{Merge, KAnonymityFirst} {
+		if err := ValidateSpec(Spec{Algorithm: alg, K: 3, T: 0.2, Sharded: true}); err != nil {
+			t.Errorf("%v: valid sharded spec rejected: %v", alg, err)
 		}
 	}
 

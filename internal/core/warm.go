@@ -52,8 +52,14 @@ type warmEntry struct {
 }
 
 // warmable reports whether warm-start applies to a spec: the paper's three
-// algorithms with the default partitioner. Baselines always run cold.
+// algorithms with the default partitioner. Baselines always run cold, and so
+// do sharded runs — warmKey has no worker dimension and sharded partitions
+// vary with the worker budget, so letting them read or seed the cache would
+// alias worker-dependent results with the serial ones.
 func warmable(spec Spec) bool {
+	if spec.Sharded {
+		return false
+	}
 	switch spec.Algorithm {
 	case Merge, KAnonymityFirst, TClosenessFirst:
 		return spec.Partitioner == nil

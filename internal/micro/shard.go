@@ -1,0 +1,89 @@
+package micro
+
+import "sort"
+
+// This file implements spatial shard extraction: splitting a candidate row
+// set into disjoint, spatially coherent shards by walking the top levels of
+// the k-d tree. The sharded partition drivers (internal/tclose) build
+// clusters concurrently inside each shard and reconcile the boundaries
+// afterwards, so the quality of a shard is its geometric coherence — records
+// that are quasi-identifier neighbors should land in the same shard, which
+// is exactly what the tree's median cuts produce.
+
+// ShardRows partitions rows into at most w disjoint shards that jointly
+// cover rows exactly, each shard spatially coherent (a subtree of the k-d
+// tree over the candidate set) and in ascending row order. The split walks
+// the top of the tree, repeatedly replacing the largest remaining subtree by
+// its two children until w subtrees exist, so shard sizes stay balanced
+// within the tree's median-cut guarantee. The result is deterministic for a
+// given (rows, w) pair.
+//
+// Degenerate inputs — w < 2, fewer than two rows, or a geometry the tree
+// cannot index (zero dimensions) — return the whole set as one shard.
+// When the matrix has a shared index cache and rows is the full ascending
+// row set, the cached master tree is reused instead of building a throwaway
+// one.
+func (m *Matrix) ShardRows(rows []int, w int) [][]int {
+	single := func() [][]int {
+		return [][]int{append([]int(nil), rows...)}
+	}
+	if w <= 1 || len(rows) < 2 {
+		return single()
+	}
+	var tree *KDTree
+	if m.cache != nil && fullAscending(rows, m.n) {
+		tree = m.cache.acquire(m, rows)
+	} else {
+		tree = NewKDTree(m, rows)
+	}
+	if tree == nil {
+		return single()
+	}
+	return tree.ShardRows(w)
+}
+
+// ShardRows splits the tree's alive rows into at most w disjoint subtree
+// shards; see Matrix.ShardRows. Fewer than w shards are returned when the
+// tree runs out of splittable internal nodes first.
+func (t *KDTree) ShardRows(w int) [][]int {
+	sel := []int32{0}
+	for len(sel) < w {
+		// Split the largest remaining subtree; ties break toward the
+		// earliest selected position, keeping the walk deterministic.
+		best := -1
+		for i, ni := range sel {
+			nd := &t.nodes[ni]
+			if nd.left < 0 || nd.count < 2 {
+				continue
+			}
+			if best < 0 || nd.count > t.nodes[sel[best]].count {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		nd := &t.nodes[sel[best]]
+		sel[best] = nd.left
+		sel = append(sel, nd.right)
+	}
+	shards := make([][]int, 0, len(sel))
+	for _, ni := range sel {
+		nd := &t.nodes[ni]
+		shard := make([]int, 0, nd.count)
+		for pos := nd.start; pos < nd.end; pos++ {
+			if t.alive[pos] {
+				shard = append(shard, int(t.items[pos]))
+			}
+		}
+		if len(shard) == 0 {
+			continue
+		}
+		// Ascending row order fixes the (distance, row) tie-break rank of
+		// every per-shard Searcher, the same convention the partition loops
+		// rely on everywhere else.
+		sort.Ints(shard)
+		shards = append(shards, shard)
+	}
+	return shards
+}

@@ -1,0 +1,138 @@
+package micro
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func shardTestMatrix(n, dim int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	return NewMatrix(pts)
+}
+
+// TestShardRowsDisjointCover pins the contract the sharded partition
+// drivers rely on: the shards are pairwise disjoint, jointly cover the
+// candidate set exactly, each is sorted ascending, and at most w come back.
+func TestShardRowsDisjointCover(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 500} {
+		for _, w := range []int{1, 2, 3, 8, 64} {
+			m := shardTestMatrix(n, 3, int64(n*31+w))
+			rows := make([]int, n)
+			for i := range rows {
+				rows[i] = i
+			}
+			shards := m.ShardRows(rows, w)
+			if len(shards) > w && w >= 1 {
+				t.Fatalf("n=%d w=%d: got %d shards", n, w, len(shards))
+			}
+			seen := make([]bool, n)
+			for si, shard := range shards {
+				if len(shard) == 0 {
+					t.Fatalf("n=%d w=%d: empty shard %d", n, w, si)
+				}
+				if !sort.IntsAreSorted(shard) {
+					t.Fatalf("n=%d w=%d: shard %d not ascending: %v", n, w, si, shard)
+				}
+				for _, r := range shard {
+					if r < 0 || r >= n || seen[r] {
+						t.Fatalf("n=%d w=%d: row %d out of range or duplicated", n, w, r)
+					}
+					seen[r] = true
+				}
+			}
+			for r, ok := range seen {
+				if !ok {
+					t.Fatalf("n=%d w=%d: row %d not covered", n, w, r)
+				}
+			}
+		}
+	}
+}
+
+// TestShardRowsSubsetCandidates splits a non-full candidate set (so the
+// per-call tree path is taken rather than the shared master) and checks the
+// cover is exactly that subset.
+func TestShardRowsSubsetCandidates(t *testing.T) {
+	m := shardTestMatrix(200, 2, 9)
+	var rows []int
+	for r := 0; r < 200; r += 3 {
+		rows = append(rows, r)
+	}
+	shards := m.ShardRows(rows, 4)
+	var got []int
+	for _, s := range shards {
+		got = append(got, s...)
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("shards do not cover the candidate subset exactly")
+	}
+}
+
+// TestShardRowsDeterministic pins the split to be a pure function of
+// (points, rows, w).
+func TestShardRowsDeterministic(t *testing.T) {
+	m1 := shardTestMatrix(300, 3, 77)
+	m2 := shardTestMatrix(300, 3, 77)
+	rows := make([]int, 300)
+	for i := range rows {
+		rows[i] = i
+	}
+	for _, w := range []int{2, 5, 8} {
+		if !reflect.DeepEqual(m1.ShardRows(rows, w), m2.ShardRows(rows, w)) {
+			t.Fatalf("w=%d: shard split not deterministic", w)
+		}
+	}
+}
+
+// TestShardRowsBalance checks the median-cut walk keeps shard sizes within
+// the tree's guarantee: splitting the largest subtree first cannot leave a
+// shard bigger than twice the even split on continuous data.
+func TestShardRowsBalance(t *testing.T) {
+	m := shardTestMatrix(1024, 3, 5)
+	rows := make([]int, 1024)
+	for i := range rows {
+		rows[i] = i
+	}
+	for _, w := range []int{2, 4, 8} {
+		shards := m.ShardRows(rows, w)
+		if len(shards) != w {
+			t.Fatalf("w=%d: got %d shards", w, len(shards))
+		}
+		for si, s := range shards {
+			if len(s) > 2*1024/w {
+				t.Fatalf("w=%d: shard %d has %d rows (> 2n/w)", w, si, len(s))
+			}
+		}
+	}
+}
+
+// TestShardRowsDegenerate: w<2, tiny candidate sets, and zero-dimension
+// geometry all come back as one shard equal to the input.
+func TestShardRowsDegenerate(t *testing.T) {
+	m := shardTestMatrix(10, 2, 3)
+	rows := []int{4}
+	for _, w := range []int{0, 1, 4} {
+		shards := m.ShardRows(rows, w)
+		if len(shards) != 1 || !reflect.DeepEqual(shards[0], rows) {
+			t.Fatalf("w=%d single row: got %v", w, shards)
+		}
+	}
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	if got := m.ShardRows(all, 1); len(got) != 1 || !reflect.DeepEqual(got[0], all) {
+		t.Fatalf("w=1: got %v", got)
+	}
+}

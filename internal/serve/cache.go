@@ -22,6 +22,13 @@ type cacheKey struct {
 	// earlier epoch may yield a (validly anonymized) partition different from
 	// the cold one, and a cold=true client asked for exactly the cold one.
 	warm bool
+	// sharded separates sharded-construction releases from serial ones, and
+	// workers (set only on sharded keys — sharded output varies with the
+	// engine worker budget, serial output does not) pins the budget the
+	// release was built under: a sharded result must never be served for a
+	// serial request, or for a sharded request under a different budget.
+	sharded bool
+	workers int
 }
 
 // resultCache is a small mutex-guarded LRU over completed results. Results

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -227,8 +228,11 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 		} else if j.spec.Warm {
 			s.metrics.warmMisses.Add(1)
 		}
+		if j.spec.Sharded {
+			s.metrics.shardedRuns.Add(1)
+		}
 		if !j.noCache && j.spec.Partitioner == nil {
-			s.cache.put(cacheKeyOf(j.ds.name, j.epoch, j.spec), res)
+			s.cache.put(s.cacheKeyOf(j.ds.name, j.epoch, j.spec), res)
 		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = JobFailed
@@ -261,8 +265,12 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 	}
 }
 
-func cacheKeyOf(dataset string, epoch int, spec core.Spec) cacheKey {
-	return cacheKey{
+// cacheKeyOf derives the result-cache key of a submission. Serial releases
+// are worker-independent (the parallel determinism contract), so their keys
+// carry workers == 0; sharded releases vary with the engine worker budget,
+// so their keys pin the budget the dataset's engine runs under.
+func (s *Server) cacheKeyOf(dataset string, epoch int, spec core.Spec) cacheKey {
+	key := cacheKey{
 		dataset:        dataset,
 		epoch:          epoch,
 		algorithm:      spec.Algorithm,
@@ -270,5 +278,19 @@ func cacheKeyOf(dataset string, epoch int, spec core.Spec) cacheKey {
 		t:              spec.T,
 		skipAssessment: spec.SkipAssessment,
 		warm:           spec.Warm,
+		sharded:        spec.Sharded,
 	}
+	if spec.Sharded {
+		key.workers = s.engineWorkers()
+	}
+	return key
+}
+
+// engineWorkers is the effective parallel fan-out of every dataset engine:
+// the configured cap, or the process-wide default the engine falls back to.
+func (s *Server) engineWorkers() int {
+	if s.cfg.EngineWorkers > 0 {
+		return s.cfg.EngineWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -34,6 +34,8 @@ type metrics struct {
 	warmRepairRows     atomic.Int64 // rows touched by warm repairs (scope)
 	warmRepairClusters atomic.Int64 // clusters folded/split/re-extracted warm
 
+	shardedRuns atomic.Int64 // successful sharded-construction runs
+
 	latMu   sync.Mutex
 	lat     [latWindow]time.Duration
 	latLen  int
@@ -99,6 +101,10 @@ type MetricsSnapshot struct {
 	WarmRepairRows     int64 `json:"warm_repair_rows"`
 	WarmRepairClusters int64 `json:"warm_repair_clusters"`
 
+	// ShardedRuns counts successful sharded-construction runs (see the
+	// "sharded" submission flag).
+	ShardedRuns int64 `json:"sharded_runs"`
+
 	QueueDepth    int   `json:"queue_depth"`
 	QueueCapacity int   `json:"queue_capacity"`
 	InFlight      int64 `json:"jobs_in_flight"`
@@ -129,6 +135,7 @@ func (s *Server) snapshotMetrics() MetricsSnapshot {
 		WarmMisses:         s.metrics.warmMisses.Load(),
 		WarmRepairRows:     s.metrics.warmRepairRows.Load(),
 		WarmRepairClusters: s.metrics.warmRepairClusters.Load(),
+		ShardedRuns:        s.metrics.shardedRuns.Load(),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		InFlight:      s.metrics.inFlight.Load(),

@@ -465,6 +465,15 @@ type submitRequest struct {
 	// neither reads nor seeds the engine's warm cache. Baselines always run
 	// cold regardless.
 	Cold bool `json:"cold"`
+	// Sharded requests sharded partition construction (core.Spec.Sharded):
+	// clusters are built concurrently from disjoint k-d shards and
+	// reconciled at the boundaries. k and t hold exactly, but the partition
+	// varies with the engine worker budget, so sharded releases are cached
+	// under their own (sharded, workers) key and never alias serial ones.
+	// Sharded jobs always run cold (the warm seed cache stores
+	// worker-independent serial partitions only). Only alg1/merge and
+	// alg2/kanon-first support it; other algorithms are rejected with 400.
+	Sharded bool `json:"sharded"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -483,12 +492,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	spec := core.Spec{Algorithm: alg, K: req.K, T: req.T, SkipAssessment: req.SkipAssessment}
+	spec := core.Spec{Algorithm: alg, K: req.K, T: req.T, SkipAssessment: req.SkipAssessment, Sharded: req.Sharded}
 	// Warm by default for the paper's algorithms; cold=true is the escape
-	// hatch. Baselines never set Warm, keeping their cache keys stable.
+	// hatch. Baselines never set Warm, keeping their cache keys stable, and
+	// neither do sharded jobs — they run cold by design, and leaving Warm off
+	// keeps one cache key per sharded parameter point.
 	switch alg {
 	case core.Merge, core.KAnonymityFirst, core.TClosenessFirst:
-		spec.Warm = !req.Cold
+		spec.Warm = !req.Cold && !req.Sharded
 	}
 	if err := core.ValidateSpec(spec); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -516,7 +527,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Cache fast path: an identical (dataset epoch, Spec) release is served
 	// without touching the queue or the engine.
 	if !req.NoCache {
-		if res, ok := s.cache.get(cacheKeyOf(ds.name, ds.eng.Epoch(), spec)); ok {
+		if res, ok := s.cache.get(s.cacheKeyOf(ds.name, ds.eng.Epoch(), spec)); ok {
 			s.metrics.cacheHits.Add(1)
 			j.state = JobDone
 			j.cached = true

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCacheKeyShardedNeverAliasesSerial pins the key derivation directly:
+// sharded and serial submissions at the same parameter point occupy
+// different slots, sharded keys pin the engine worker budget, and serial
+// keys stay worker-independent (the parallel determinism contract).
+func TestCacheKeyShardedNeverAliasesSerial(t *testing.T) {
+	s4 := &Server{cfg: Config{EngineWorkers: 4}}
+	s8 := &Server{cfg: Config{EngineWorkers: 8}}
+	serial := core.Spec{Algorithm: core.KAnonymityFirst, K: 2, T: 0.15}
+	sharded := serial
+	sharded.Sharded = true
+
+	if s4.cacheKeyOf("d", 0, serial) == s4.cacheKeyOf("d", 0, sharded) {
+		t.Fatal("sharded and serial submissions share a cache key")
+	}
+	if s4.cacheKeyOf("d", 0, sharded) == s8.cacheKeyOf("d", 0, sharded) {
+		t.Fatal("sharded keys under different worker budgets collide")
+	}
+	if s4.cacheKeyOf("d", 0, serial) != s8.cacheKeyOf("d", 0, serial) {
+		t.Fatal("serial keys must be worker-independent")
+	}
+}
+
+// TestServeShardedJobs drives the sharded mode over HTTP: a sharded job
+// runs (counted in /metrics), its release is cached under its own key — a
+// serial submission at the same parameter point misses, and each resubmit
+// hits its own slot — and sharded requests for unsupported algorithms are
+// rejected at admission with 400.
+func TestServeShardedJobs(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	registerSynth(t, ts.URL, "patients", "patients", 500)
+
+	shardedReq := map[string]any{
+		"dataset": "patients", "algorithm": "alg2", "k": 2, "t": 0.15,
+		"skip_assessment": true, "sharded": true,
+	}
+	res := submitAndWait(t, ts.URL, shardedReq)
+	if res["warm"] != nil {
+		t.Fatalf("sharded job reported a warm repair: %v", res["warm"])
+	}
+	if got := s.metrics.shardedRuns.Load(); got != 1 {
+		t.Fatalf("shardedRuns = %d, want 1", got)
+	}
+
+	// Same parameter point, serial and cold: must miss the cache (202, a
+	// real run), not be served the sharded release.
+	serialReq := map[string]any{
+		"dataset": "patients", "algorithm": "alg2", "k": 2, "t": 0.15,
+		"skip_assessment": true, "cold": true,
+	}
+	code, doc, _ := submit(t, ts.URL, serialReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("serial submit after sharded should miss the cache: %d (%v)", code, doc)
+	}
+	if waitJob(t, ts.URL, jobID(t, doc), 60*time.Second)["state"] != string(JobDone) {
+		t.Fatal("serial job did not finish")
+	}
+	if got := s.metrics.shardedRuns.Load(); got != 1 {
+		t.Fatalf("serial run bumped shardedRuns to %d", got)
+	}
+
+	// Both releases are now cached under their own keys.
+	code, doc, _ = submit(t, ts.URL, shardedReq)
+	if code != http.StatusOK || doc["cached"] != true {
+		t.Fatalf("sharded resubmit should hit the cache: %d %v", code, doc)
+	}
+	code, doc, _ = submit(t, ts.URL, serialReq)
+	if code != http.StatusOK || doc["cached"] != true {
+		t.Fatalf("serial resubmit should hit the cache: %d %v", code, doc)
+	}
+
+	// The metrics document exposes the counter.
+	code, m, _ := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if code != http.StatusOK || m["sharded_runs"].(float64) != 1 {
+		t.Fatalf("metrics sharded_runs: %d %v", code, m["sharded_runs"])
+	}
+
+	// Unsupported algorithms are rejected at admission.
+	for _, alg := range []string{"alg3", "mondrian", "sabre", "incognito"} {
+		code, doc, _ := submit(t, ts.URL, map[string]any{
+			"dataset": "patients", "algorithm": alg, "k": 2, "t": 0.15, "sharded": true,
+		})
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s sharded: status %d (%v), want 400", alg, code, doc)
+		}
+	}
+}

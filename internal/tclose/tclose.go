@@ -88,6 +88,21 @@
 // the golden conformance fixtures in internal/core — and each seam keeps a
 // serial fallback below its engagement floor, so a one-worker engine pays
 // no fan-out overhead at all.
+//
+// The sharded construction mode (Algorithm1Sharded / Algorithm2Sharded,
+// opted into via core.Spec.Sharded) is the deliberate exception to this
+// contract. It parallelizes cluster construction itself — the sequential
+// frontier the seams above cannot touch — by splitting the table into
+// disjoint k-d shards (micro.Matrix.ShardRows), running the cluster loop
+// independently per shard, and reconciling the boundaries (undersized
+// clusters fold into their QI-nearest neighbor, then the scratch-histogram
+// finishing merge restores t). The output always satisfies k and t exactly,
+// and is deterministic for a fixed worker budget, but is bit-identical to
+// the serial run only when the effective shard count is one (a one-worker
+// engine, or a table below the per-shard size floor, delegates to the
+// serial algorithm outright). Choose it when wall-clock on a multi-core
+// host matters more than cross-budget reproducibility; the shard sweep
+// tests pin the privacy guarantee and bound the utility cost.
 package tclose
 
 import (

@@ -76,6 +76,19 @@
 // (internal/core/testdata); WithWorkers is therefore purely a throughput
 // knob, safe to tune per deployment.
 //
+// Spec.Sharded opts a Merge or KAnonymityFirst run out of that contract in
+// exchange for parallel cluster construction: the table splits into
+// disjoint k-d shards, each shard builds clusters independently, and a
+// reconciliation pass repairs k/t violations along the boundaries. The
+// release still satisfies k and t exactly and is deterministic for a fixed
+// worker budget, but different budgets produce different (equally valid)
+// partitions, and the warm seed cache is bypassed. Choose sharded mode for
+// large one-off anonymizations on multi-core hosts where wall-clock
+// dominates; keep the default when releases must be reproducible across
+// deployments with different worker settings, when runs are re-issued
+// across epochs (warm mode is the bigger win there), or when utility must
+// match the serial reference bit for bit.
+//
 // The one-shot Anonymize(table, cfg) remains fully supported as a shim
 // over a throwaway engine for callers that anonymize a table exactly once.
 //
