@@ -37,16 +37,19 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -245,6 +248,22 @@ func main() {
 				spec.Algorithm, size, shardedT, variant, best.Round(time.Microsecond))
 		}
 	}
+	// Store family (-full only): the storage layer's two headline costs on a
+	// million-row Patient Discharge table — streaming CSV ingest into the
+	// embedded columnar store under the default memory budget ("ingest-1M"),
+	// and reopening the committed file without re-decoding CSV ("reopen-1M").
+	// The CSV is written once outside the timed region; each ingest rep
+	// streams it into a fresh backend directory, and each reopen rep goes
+	// through a fresh backend over the last ingested file so no in-process
+	// cache flatters the number.
+	if *full {
+		const storeRows = 1_000_000
+		storeCells, err := measureStore(storeRows, *reps)
+		if err != nil {
+			log.Fatalf("store family: %v", err)
+		}
+		rep.Cells = append(rep.Cells, storeCells...)
+	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -257,4 +276,90 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// measureStore times the ingest-1M and reopen-1M cells. The cells carry
+// the grid's canonical (algorithm, k, t) point purely as a stable cell
+// key — no anonymization runs; only the store is timed.
+func measureStore(rows, reps int) ([]Cell, error) {
+	scratch, err := os.MkdirTemp("", "benchjson-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+
+	csvPath := filepath.Join(scratch, "patients.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := synth.PatientDischarge(rows, synth.DefaultSeed).WriteCSV(w); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	var lastDir string
+	bestIngest := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		dir := filepath.Join(scratch, fmt.Sprintf("ingest-%d", r))
+		b, err := store.NewFileBackend(dir)
+		if err != nil {
+			return nil, err
+		}
+		src, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := store.IngestCSV(b, "patients", bufio.NewReaderSize(src, 1<<20), store.DefaultIngestBudget); err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		src.Close()
+		b.Close()
+		if bestIngest == 0 || d < bestIngest {
+			bestIngest = d
+		}
+		lastDir = dir
+	}
+
+	bestReopen := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		b, err := store.NewFileBackend(lastDir)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tbl, _, err := b.Open("patients")
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		if tbl.Len() != rows {
+			return nil, fmt.Errorf("reopen materialized %d rows, want %d", tbl.Len(), rows)
+		}
+		b.Close()
+		if bestReopen == 0 || d < bestReopen {
+			bestReopen = d
+		}
+	}
+
+	cells := make([]Cell, 0, 2)
+	for _, c := range []struct {
+		variant string
+		best    time.Duration
+	}{{"ingest-1M", bestIngest}, {"reopen-1M", bestReopen}} {
+		cells = append(cells, Cell{
+			Algorithm: core.Merge, K: 2, T: 0.13, N: rows,
+			Variant: c.variant, NsOp: c.best.Nanoseconds(), Seconds: c.best.Seconds(),
+		})
+		fmt.Fprintf(os.Stderr, "store n=%d %s: %v\n", rows, c.variant, c.best.Round(time.Microsecond))
+	}
+	return cells, nil
 }

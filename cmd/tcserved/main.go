@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/serve/faultinject"
+	"repro/internal/store"
 )
 
 func main() {
@@ -37,10 +38,11 @@ func main() {
 		cacheEntries  = flag.Int("cache", 256, "result cache entries (0 disables)")
 		engineWorkers = flag.Int("workers", 0, "per-engine parallel fan-out (0 = GOMAXPROCS)")
 		preload       = flag.String("preload", "", "comma-separated synthetic datasets to register at boot: census-mcd, census-hcd, patients")
+		dataDir       = flag.String("data-dir", "", "directory for persistent dataset storage; datasets found there are restored at boot")
 		faultSpec     = flag.String("fault", os.Getenv("TCSERVED_FAULT"), "fault injection spec (testing only), e.g. panic-at=3,slow-task=50ms,transient=2")
 	)
 	flag.Parse()
-	if err := run(*addr, serveConfig(*queue, *jobs, *timeout, *maxTimeout, *retries, *cacheEntries, *engineWorkers, *faultSpec), *preload, *grace); err != nil {
+	if err := run(*addr, serveConfig(*queue, *jobs, *timeout, *maxTimeout, *retries, *cacheEntries, *engineWorkers, *faultSpec), *preload, *dataDir, *grace); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -66,11 +68,38 @@ func serveConfig(queue, jobs int, timeout, maxTimeout time.Duration, retries, ca
 	return cfg
 }
 
-func run(addr string, cfg serve.Config, preload string, grace time.Duration) error {
+func run(addr string, cfg serve.Config, preload, dataDir string, grace time.Duration) error {
+	if dataDir != "" {
+		backend, err := store.NewFileBackend(dataDir)
+		if err != nil {
+			return err
+		}
+		defer backend.Close()
+		cfg.Store = backend
+	}
 	srv := serve.New(cfg)
+
+	// With -data-dir, datasets committed by an earlier run come back first
+	// — same names, epoch counters and table hashes — and every later
+	// registration or epoch writes through durably.
+	restored := make(map[string]bool)
+	if cfg.Store != nil {
+		names, err := srv.RestoreDatasets()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			restored[name] = true
+			log.Printf("tcserved: restored dataset %q from %s", name, dataDir)
+		}
+	}
 	for _, kind := range strings.Split(preload, ",") {
 		kind = strings.TrimSpace(kind)
 		if kind == "" {
+			continue
+		}
+		if restored[kind] {
+			log.Printf("tcserved: dataset %q already restored from -data-dir; preload skipped", kind)
 			continue
 		}
 		tbl, err := serve.SynthTable(kind, 0)

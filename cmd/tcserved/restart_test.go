@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildTCServed compiles the real binary once per test.
+func buildTCServed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tcserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building tcserved: %v", err)
+	}
+	return bin
+}
+
+// startTCServed launches the binary and waits for its address line.
+func startTCServed(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	scanner := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, "tcserved listening on ") {
+				lineCh <- strings.TrimPrefix(line, "tcserved listening on ")
+				return
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case addr, ok := <-lineCh:
+		if !ok {
+			t.Fatal("server exited before announcing its address")
+		}
+		return cmd, "http://" + strings.TrimSpace(addr)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not announce its address in 30s")
+		return nil, ""
+	}
+}
+
+// clinicCSV builds a small mixed-schema dataset upload: numeric and
+// categorical quasi-identifiers plus a categorical confidential column,
+// so the restart round-trips dictionaries, not just numbers.
+func clinicCSV(n int) string {
+	var b strings.Builder
+	b.WriteString("age,zip,city,disease\n")
+	b.WriteString("quasi-identifier:numeric,quasi-identifier:numeric,quasi-identifier:categorical,confidential:categorical\n")
+	cities := []string{"oslo", "bergen", "tromso", "stavanger"}
+	diseases := []string{"flu", "cold", "asthma"}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,%d,%s,%s\n",
+			20+rng.Intn(60), 90000+rng.Intn(400),
+			cities[rng.Intn(len(cities))], diseases[rng.Intn(len(diseases))])
+	}
+	return b.String()
+}
+
+// runJobRelease submits one anonymization job and returns its release CSV.
+func runJobRelease(t *testing.T, base string) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"dataset": "clinic", "algorithm": "alg3", "k": 4, "t": 0.3,
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, sub)
+	}
+	id := sub["id"].(float64)
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + fmt.Sprintf("/v1/jobs/%.0f", id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		switch doc["state"] {
+		case "done":
+			res, err := http.Get(base + fmt.Sprintf("/v1/jobs/%.0f/result", id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out map[string]any
+			_ = json.NewDecoder(res.Body).Decode(&out)
+			res.Body.Close()
+			release, _ := out["release_csv"].(string)
+			if release == "" {
+				t.Fatal("job result carries no release CSV")
+			}
+			return release
+		case "failed", "canceled":
+			t.Fatalf("job finished %v: %v", doc["state"], doc["error"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("job did not finish before deadline")
+	return ""
+}
+
+// listDatasets fetches GET /v1/datasets and strips the volatile "created"
+// timestamps so snapshots before and after a restart compare directly.
+func listDatasets(t *testing.T, base string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Datasets []map[string]any `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range doc.Datasets {
+		delete(d, "created")
+	}
+	return doc.Datasets
+}
+
+// TestRestartRecovery is the kill-and-reopen conformance check for
+// -data-dir: register a dataset over HTTP, advance it through append and
+// delete epochs, record the dataset listing and one job release, SIGKILL
+// the process (no drain, no flush beyond the per-epoch fsync), restart it
+// over the same directory, and require the same datasets at the same
+// epochs with identical table hashes and a byte-identical release. The
+// restored server must also keep accepting durable epochs, and a synth
+// dataset restored from disk must not be re-preloaded.
+func TestRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level restart test; skipped in -short")
+	}
+	bin := buildTCServed(t)
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-preload", "patients", "-workers", "2", "-grace", "10s"}
+
+	cmd, base := startTCServed(t, bin, args...)
+
+	// Register over HTTP (persisted snapshot), then advance two epochs.
+	resp, err := http.Post(base+"/v1/datasets?name=clinic", "text/csv", strings.NewReader(clinicCSV(80)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	appendBody, _ := json.Marshal(map[string]any{"rows": [][]any{
+		{33, 90100, "kirkenes", "flu"}, // brand-new dictionary label
+		{58, 90200, "oslo", "asthma"},
+	}})
+	resp, err = http.Post(base+"/v1/datasets/clinic/rows", "application/json", bytes.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d", resp.StatusCode)
+	}
+	delBody, _ := json.Marshal(map[string]any{"rows": []int{3, 17, 40}})
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/datasets/clinic/rows", bytes.NewReader(delBody))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+
+	before := listDatasets(t, base)
+	if len(before) != 2 { // clinic + preloaded patients
+		t.Fatalf("listed %d datasets before kill, want 2", len(before))
+	}
+	releaseBefore := runJobRelease(t, base)
+
+	// Hard kill: SIGKILL, nothing gets to drain or flush.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	// Restart over the same directory, same preload flag.
+	_, base2 := startTCServed(t, bin, args...)
+	after := listDatasets(t, base2)
+	if got, want := mustJSON(t, after), mustJSON(t, before); got != want {
+		t.Fatalf("dataset listing changed across restart:\nbefore: %s\nafter:  %s", want, got)
+	}
+	if got := runJobRelease(t, base2); got != releaseBefore {
+		t.Fatal("job release after restart is not byte-identical")
+	}
+
+	// The restored clinic keeps taking durable epochs where it left off.
+	resp, err = http.Post(base2+"/v1/datasets/clinic/rows", "application/json", bytes.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append after restart: %d (%v)", resp.StatusCode, doc)
+	}
+	if epoch, _ := doc["epoch"].(float64); epoch != 3 {
+		t.Fatalf("epoch after post-restart append: %v, want 3", doc["epoch"])
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

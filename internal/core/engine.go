@@ -14,6 +14,7 @@ import (
 	"repro/internal/micro"
 	"repro/internal/privacy"
 	"repro/internal/sabre"
+	"repro/internal/store"
 	"repro/internal/tclose"
 )
 
@@ -34,6 +35,11 @@ import (
 type Engine struct {
 	tun      micro.Tuning
 	progress func(Progress)
+
+	// store, when non-nil, is the persistent backend every Append/Delete
+	// epoch writes through to before becoming visible; set by Open/Create.
+	store     store.Backend
+	storeName string
 
 	mu    sync.Mutex
 	state *engineState
@@ -181,6 +187,10 @@ func (e *Engine) Append(rows ...[]any) error {
 	defer e.mu.Unlock()
 	st := e.state
 	table := st.table.Clone()
+	var prevDictLens []int
+	if e.store != nil {
+		prevDictLens = store.DictLens(table)
+	}
 	for _, r := range rows {
 		if err := table.AppendRow(r...); err != nil {
 			return err
@@ -189,6 +199,14 @@ func (e *Engine) Append(rows ...[]any) error {
 	prep, err := st.prep.Extend(table)
 	if err != nil {
 		return err
+	}
+	if e.store != nil {
+		// Persist before the swap: the epoch is durable by the time any run
+		// can observe it, and a persistence failure leaves the engine (and
+		// the store, which discards torn epochs on replay) unchanged.
+		if err := store.AppendRows(e.store, e.storeName, table, st.table.Len(), prevDictLens); err != nil {
+			return fmt.Errorf("core: persisting append epoch: %w", err)
+		}
 	}
 	e.state = &engineState{
 		epoch: st.epoch + 1,
@@ -257,6 +275,11 @@ func (e *Engine) Delete(rowIDs ...int) error {
 	}
 	prep.Matrix().SetTuning(e.tun)
 	prep.Matrix().EnableIndexCache()
+	if e.store != nil {
+		if err := e.store.DeleteEpoch(e.storeName, rowIDs); err != nil {
+			return fmt.Errorf("core: persisting delete epoch: %w", err)
+		}
+	}
 	e.state = &engineState{
 		epoch: st.epoch + 1,
 		table: table,

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func chunkSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Attribute{Name: "age", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "city", Role: QuasiIdentifier, Kind: Categorical},
+		Attribute{Name: "disease", Role: Confidential, Kind: Categorical},
+	)
+}
+
+// A table built from dict pages + column chunks must be bit-identical to
+// the same records appended row at a time: values, labels, and — the part
+// that matters for future appends — the label→code assignment.
+func TestAppendColumnChunkMatchesAppendRow(t *testing.T) {
+	rows := [][]any{
+		{30.0, "oslo", "flu"},
+		{41.0, "bergen", "flu"},
+		{30.5, "oslo", "cold"},
+		{-2.0, "", "flu"}, // empty label is a legal dictionary entry
+	}
+	byRow := MustTable(chunkSchema(t))
+	for _, r := range rows {
+		if err := byRow.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	byChunk := MustTable(chunkSchema(t))
+	if err := byChunk.ExtendDict(1, []string{"oslo", "bergen", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := byChunk.ExtendDict(2, []string{"flu", "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	// Split the records across two chunks to exercise repeated appends.
+	chunks := [][][]float64{
+		{{30, 41}, {0, 1}, {0, 0}},
+		{{30.5, -2}, {0, 2}, {1, 0}},
+	}
+	for _, ch := range chunks {
+		if err := byChunk.AppendColumnChunk(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if byChunk.Len() != byRow.Len() {
+		t.Fatalf("rows: chunk %d, row-at-a-time %d", byChunk.Len(), byRow.Len())
+	}
+	for c := 0; c < byRow.Width(); c++ {
+		for r := 0; r < byRow.Len(); r++ {
+			a, b := byRow.Value(r, c), byChunk.Value(r, c)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("value (%d,%d): row-path %v chunk-path %v", r, c, a, b)
+			}
+			if byRow.Label(r, c) != byChunk.Label(r, c) {
+				t.Fatalf("label (%d,%d): %q vs %q", r, c, byRow.Label(r, c), byChunk.Label(r, c))
+			}
+		}
+	}
+	// Appending the same new row to both must assign the same codes.
+	for _, tbl := range []*Table{byRow, byChunk} {
+		if err := tbl.AppendRow(7.0, "tromso", "cold"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := byRow.Value(4, 1), byChunk.Value(4, 1); a != b {
+		t.Fatalf("new label code diverged: %v vs %v", a, b)
+	}
+}
+
+func TestAppendColumnChunkAllOrNothing(t *testing.T) {
+	tbl := MustTable(chunkSchema(t))
+	if err := tbl.ExtendDict(1, []string{"oslo"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ExtendDict(2, []string{"flu"}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		cols [][]float64
+		want error
+	}{
+		{"width", [][]float64{{1}, {0}}, ErrRowWidth},
+		{"ragged", [][]float64{{1, 2}, {0}, {0, 0}}, ErrRowWidth},
+		{"code out of range", [][]float64{{1}, {1}, {0}}, ErrKindMismatch},
+		{"fractional code", [][]float64{{1}, {0.5}, {0}}, ErrKindMismatch},
+		{"negative code", [][]float64{{1}, {-1}, {0}}, ErrKindMismatch},
+	}
+	for _, tc := range bad {
+		if err := tbl.AppendColumnChunk(tc.cols); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if tbl.Len() != 0 {
+			t.Fatalf("%s: failed chunk mutated the table (len %d)", tc.name, tbl.Len())
+		}
+	}
+}
+
+func TestExtendDictErrors(t *testing.T) {
+	tbl := MustTable(chunkSchema(t))
+	if err := tbl.ExtendDict(0, []string{"x"}); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("numeric column: got %v, want ErrKindMismatch", err)
+	}
+	if err := tbl.ExtendDict(9, []string{"x"}); !errors.Is(err, ErrColRange) {
+		t.Errorf("out of range: got %v, want ErrColRange", err)
+	}
+	if err := tbl.ExtendDict(1, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ExtendDict(1, []string{"c", "a"}); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	if got := tbl.DictLen(1); got != 2 {
+		t.Errorf("failed extend mutated the dict: len %d, want 2", got)
+	}
+}

@@ -128,6 +128,12 @@ func ReadCSV(r io.Reader) (*Table, error) {
 	return t, nil
 }
 
+// ParseDescriptor parses one "role:kind" schema-row descriptor of the
+// two-header CSV format (kind defaults to numeric when omitted). It is the
+// piece of ReadCSV a streaming loader needs to build the schema from the
+// two header rows before decoding records chunk by chunk.
+func ParseDescriptor(d string) (Role, Kind, error) { return parseDescriptor(d) }
+
 func parseDescriptor(d string) (Role, Kind, error) {
 	parts := strings.SplitN(d, ":", 2)
 	role, err := ParseRole(parts[0])

@@ -134,6 +134,73 @@ func (t *Table) AppendRow(vals ...any) error {
 	return nil
 }
 
+// AppendColumnChunk bulk-appends a batch of records given in columnar form:
+// cols holds one slice per schema attribute, all of equal length, carrying
+// raw numeric values (or categorical codes into the column's current
+// dictionary). It is the chunked ingest counterpart of AppendRow — a
+// storage backend or streaming loader decodes a whole column chunk and
+// hands it over in one call instead of transposing to rows — and appends
+// all-or-nothing: validation errors leave the table unchanged. Extend
+// dictionaries first (ExtendDict) when a chunk introduces new labels.
+func (t *Table) AppendColumnChunk(cols [][]float64) error {
+	if len(cols) != t.schema.Len() {
+		return fmt.Errorf("%w: got %d columns, schema has %d attributes",
+			ErrRowWidth, len(cols), t.schema.Len())
+	}
+	n := len(cols[0])
+	for i, col := range cols {
+		if len(col) != n {
+			return fmt.Errorf("%w: column %q has %d values, column %q has %d",
+				ErrRowWidth, t.schema.Attr(i).Name, len(col), t.schema.Attr(0).Name, n)
+		}
+		if t.schema.Attr(i).Kind != Categorical {
+			continue
+		}
+		for r, v := range col {
+			code := int(v)
+			if float64(code) != v || code < 0 || code >= len(t.dicts[i]) {
+				return fmt.Errorf("%w: attribute %q chunk row %d: categorical code %v outside dictionary of %d",
+					ErrKindMismatch, t.schema.Attr(i).Name, r, v, len(t.dicts[i]))
+			}
+		}
+	}
+	for i, col := range cols {
+		t.cols[i] = append(t.cols[i], col...)
+	}
+	t.rows += n
+	return nil
+}
+
+// ExtendDict appends new labels to the dictionary of categorical column
+// col, assigning codes in order — the dict-page replay half of a chunked
+// load. Labels already present are rejected (a loader replaying dictionary
+// deltas must never see one twice), as is extending a numeric column.
+func (t *Table) ExtendDict(col int, labels []string) error {
+	if col < 0 || col >= t.schema.Len() {
+		return fmt.Errorf("%w: %d", ErrColRange, col)
+	}
+	if t.schema.Attr(col).Kind != Categorical {
+		return fmt.Errorf("%w: attribute %q is numeric", ErrKindMismatch, t.schema.Attr(col).Name)
+	}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if _, dup := t.codeOf[col][l]; dup || seen[l] {
+			return fmt.Errorf("dataset: attribute %q: duplicate dictionary label %q",
+				t.schema.Attr(col).Name, l)
+		}
+		seen[l] = true
+	}
+	for _, l := range labels {
+		t.codeOf[col][l] = len(t.dicts[col])
+		t.dicts[col] = append(t.dicts[col], l)
+	}
+	return nil
+}
+
+// DictLen returns the dictionary size of categorical column col (0 for
+// numeric columns).
+func (t *Table) DictLen(col int) int { return len(t.dicts[col]) }
+
 // Value returns the raw numeric value (or categorical code) at (row, col).
 func (t *Table) Value(row, col int) float64 {
 	return t.cols[col][row]

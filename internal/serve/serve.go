@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/serve/faultinject"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -81,6 +83,12 @@ type Config struct {
 	// Fault, when non-nil, injects faults into job execution; see package
 	// faultinject. Nil in production.
 	Fault *faultinject.Hooks
+	// Store, when non-nil, makes registered datasets persistent: each
+	// registration snapshots the table into the store and every append or
+	// delete epoch writes through durably before it becomes visible, so
+	// RestoreDatasets on a later boot serves the same datasets at the same
+	// epochs with identical table hashes. Nil keeps datasets in memory only.
+	Store store.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +157,7 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	datasets map[string]*datasetEntry
+	reserved map[string]bool // names mid-registration, held out of reuse
 	jobs     map[uint64]*job
 	history  []uint64 // finished job ids, oldest first
 	nextID   uint64
@@ -163,6 +172,7 @@ func New(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheEntries),
 		queue:    make(chan *job, cfg.MaxQueue),
 		datasets: make(map[string]*datasetEntry),
+		reserved: make(map[string]bool),
 		jobs:     make(map[uint64]*job),
 	}
 	s.metrics.start = time.Now()
@@ -229,18 +239,50 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // --- datasets ---
 
 // RegisterDataset registers a table under a name and prepares its engine.
-// It is the programmatic form of POST /v1/datasets, used by tcserved's
-// preload flag.
+// With a persistent store configured (Config.Store) the table is
+// snapshotted into the store first and the engine opened over the stored
+// bytes, so the state it serves is exactly what a post-restart
+// RestoreDatasets will serve. It is the programmatic form of
+// POST /v1/datasets, used by tcserved's preload flag.
 func (s *Server) RegisterDataset(name string, t *dataset.Table) error {
 	if name == "" {
 		return errors.New("serve: dataset name must not be empty")
 	}
+	// Reserve the name before touching the store: a registration losing the
+	// race must fail here, not after writing (and orphaning) a snapshot
+	// file for a name that turns out to be taken.
+	if err := s.reserveDataset(name); err != nil {
+		return err
+	}
 	ds := &datasetEntry{name: name, created: time.Now()}
-	eng, err := core.NewEngine(t, s.engineOptions(ds)...)
+	var (
+		eng *core.Engine
+		err error
+	)
+	if s.cfg.Store != nil {
+		eng, err = core.Create(s.cfg.Store, name, t, s.engineOptions(ds)...)
+		if err != nil && !errors.Is(err, store.ErrExists) {
+			// The snapshot may have been committed before the engine build
+			// failed; best-effort removal keeps the store orphan-free.
+			_ = s.cfg.Store.Remove(name)
+		}
+	} else {
+		eng, err = core.NewEngine(t, s.engineOptions(ds)...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.reserved, name)
 	if err != nil {
 		return err
 	}
 	ds.eng = eng
+	s.datasets[name] = ds
+	return nil
+}
+
+// reserveDataset holds a name for an in-flight registration, enforcing
+// the availability and capacity checks up front.
+func (s *Server) reserveDataset(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -249,11 +291,48 @@ func (s *Server) RegisterDataset(name string, t *dataset.Table) error {
 	if _, ok := s.datasets[name]; ok {
 		return fmt.Errorf("serve: dataset %q already registered", name)
 	}
-	if len(s.datasets) >= s.cfg.MaxDatasets {
+	if s.reserved[name] {
+		return fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	if len(s.datasets)+len(s.reserved) >= s.cfg.MaxDatasets {
 		return fmt.Errorf("serve: dataset limit (%d) reached", s.cfg.MaxDatasets)
 	}
-	s.datasets[name] = ds
+	s.reserved[name] = true
 	return nil
+}
+
+// RestoreDatasets opens every dataset committed in Config.Store and
+// registers it under its stored name — the boot-time counterpart of
+// write-through registration. Each restored engine carries the epoch
+// counter, replayable epoch log, and bit-identical table of the engine
+// that wrote the store, so releases match across the restart. It returns
+// the restored names in lexical order; with no store configured it
+// restores nothing.
+func (s *Server) RestoreDatasets() ([]string, error) {
+	if s.cfg.Store == nil {
+		return nil, nil
+	}
+	names, err := s.cfg.Store.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := s.reserveDataset(name); err != nil {
+			return nil, err
+		}
+		ds := &datasetEntry{name: name, created: time.Now()}
+		eng, err := core.Open(s.cfg.Store, name, s.engineOptions(ds)...)
+		s.mu.Lock()
+		delete(s.reserved, name)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("serve: restoring dataset %q: %w", name, err)
+		}
+		ds.eng = eng
+		s.datasets[name] = ds
+		s.mu.Unlock()
+	}
+	return names, nil
 }
 
 // engineOptions wires the per-dataset engine: the worker cap and the
@@ -353,14 +432,37 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleListDatasets returns one summary document per dataset, sorted by
+// name: row count, epoch, a compact "name:role:kind" schema summary, and
+// the table hash a client can compare across restarts to confirm a
+// -data-dir restore served back the exact bytes.
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	names := make([]string, 0, len(s.datasets))
-	for n := range s.datasets {
-		names = append(names, n)
+	entries := make([]*datasetEntry, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		entries = append(entries, ds)
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": names})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	docs := make([]map[string]any, len(entries))
+	for i, ds := range entries {
+		tbl := ds.eng.Table()
+		sch := tbl.Schema()
+		summary := make([]string, sch.Len())
+		for c := 0; c < sch.Len(); c++ {
+			a := sch.Attr(c)
+			summary[c] = a.Name + ":" + a.Role.String() + ":" + a.Kind.String()
+		}
+		docs[i] = map[string]any{
+			"name":       ds.name,
+			"rows":       tbl.Len(),
+			"epoch":      ds.eng.Epoch(),
+			"schema":     summary,
+			"table_hash": store.TableHash(tbl),
+			"created":    ds.created.UTC().Format(time.RFC3339),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": docs})
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
@@ -380,6 +482,7 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		"rows":       ds.eng.Len(),
 		"epoch":      ds.eng.Epoch(),
 		"attributes": attrs,
+		"table_hash": store.TableHash(ds.eng.Table()),
 		"created":    ds.created.UTC().Format(time.RFC3339),
 	})
 }

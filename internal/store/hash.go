@@ -1,0 +1,49 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// TableHash returns a hex SHA-256 fingerprint of a table's full logical
+// content: schema (names, roles, kinds), dictionaries (labels in code
+// order), and every column's values as exact float64 bits. Two tables
+// with equal hashes are bit-identical for the engine — same releases,
+// same future code assignments — so the hash is what the restart
+// conformance checks compare across a snapshot/reopen boundary.
+func TableHash(t *dataset.Table) string {
+	h := sha256.New()
+	var b8 [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		h.Write(b8[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	s := t.Schema()
+	wu(uint64(s.Len()))
+	for c := 0; c < s.Len(); c++ {
+		a := s.Attr(c)
+		ws(a.Name)
+		wu(uint64(a.Role))
+		wu(uint64(a.Kind))
+	}
+	wu(uint64(t.Len()))
+	for c := 0; c < s.Len(); c++ {
+		dict := t.Dict(c)
+		wu(uint64(len(dict)))
+		for _, l := range dict {
+			ws(l)
+		}
+		for _, v := range t.ColumnView(c) {
+			wu(math.Float64bits(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// DefaultIngestBudget is the chunk-buffer budget IngestCSV uses when the
+// caller passes budget <= 0: large enough for good segment sizes, small
+// enough that a million-row ingest never holds the table in memory.
+const DefaultIngestBudget = 8 << 20
+
+// IngestStats reports what a streaming ingest did; MaxBufferedBytes is
+// the high-water mark of the chunk buffer (values + new dictionary
+// labels), the number the memory-budget contract is stated in.
+type IngestStats struct {
+	// Rows ingested in total.
+	Rows int
+	// Chunks flushed to the backend.
+	Chunks int
+	// MaxBufferedBytes is the largest chunk buffer held at any point.
+	MaxBufferedBytes int
+}
+
+// IngestCSV bulk-loads a dataset in the two-header CSV format (see
+// dataset.WriteCSV) straight into a backend without materializing the
+// table: records are decoded into a columnar chunk buffer and flushed as
+// a snapshot chunk whenever the buffer would exceed budget bytes
+// (DefaultIngestBudget when budget <= 0). Label→code assignment is
+// first-seen order, the same rule dataset.ReadCSV uses, so a table opened
+// from the ingested snapshot is bit-identical to dataset.ReadCSV of the
+// same input.
+func IngestCSV(b Backend, name string, r io.Reader, budget int) (IngestStats, error) {
+	var stats IngestStats
+	if budget <= 0 {
+		budget = DefaultIngestBudget
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	names, err := cr.Read()
+	if err != nil {
+		return stats, fmt.Errorf("store: reading header: %w", err)
+	}
+	names = append([]string(nil), names...)
+	descs, err := cr.Read()
+	if err != nil {
+		return stats, fmt.Errorf("store: reading schema row: %w", err)
+	}
+	if len(descs) != len(names) {
+		return stats, fmt.Errorf("store: schema row has %d fields, header has %d", len(descs), len(names))
+	}
+	attrs := make([]dataset.Attribute, len(names))
+	for i, d := range descs {
+		role, kind, err := dataset.ParseDescriptor(d)
+		if err != nil {
+			return stats, fmt.Errorf("store: column %q: %w", names[i], err)
+		}
+		attrs[i] = dataset.Attribute{Name: names[i], Role: role, Kind: kind}
+	}
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return stats, err
+	}
+	w, err := b.Create(name, schema)
+	if err != nil {
+		return stats, err
+	}
+	defer w.Close()
+
+	width := schema.Len()
+	codeOf := make([]map[string]int, width) // full dictionaries, first-seen order
+	for c := range codeOf {
+		if attrs[c].Kind == dataset.Categorical {
+			codeOf[c] = make(map[string]int)
+		}
+	}
+	cols := make([][]float64, width)
+	delta := make([][]string, width) // labels introduced by the buffered chunk
+	buffered := 0                    // bytes held: 8 per value + new label bytes
+	hasDelta := false
+
+	flush := func() error {
+		if buffered > stats.MaxBufferedBytes {
+			stats.MaxBufferedBytes = buffered
+		}
+		ch := ColumnChunk{Rows: len(cols[0]), Cols: cols}
+		if hasDelta {
+			ch.DictDelta = delta
+		}
+		if err := w.Append(ch); err != nil {
+			return err
+		}
+		stats.Chunks++
+		cols = make([][]float64, width)
+		delta = make([][]string, width)
+		buffered, hasDelta = 0, false
+		return nil
+	}
+
+	scratch := make([]float64, width)
+	line := 2
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return stats, fmt.Errorf("store: reading line %d: %w", line, err)
+		}
+		if len(rec) != width {
+			return stats, fmt.Errorf("store: line %d has %d fields, want %d", line, len(rec), width)
+		}
+		// Decode the record before buffering it so a flush can happen on a
+		// clean chunk boundary, keeping the buffer at or under budget.
+		rowBytes := 8 * width
+		var newLabels []int // columns whose field is a first-seen label
+		for c, field := range rec {
+			if attrs[c].Kind != dataset.Categorical {
+				v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+				if err != nil {
+					return stats, fmt.Errorf("store: line %d, column %q: %w", line, attrs[c].Name, err)
+				}
+				scratch[c] = v
+				continue
+			}
+			code, ok := codeOf[c][field]
+			if !ok {
+				code = len(codeOf[c])
+				newLabels = append(newLabels, c)
+				rowBytes += len(field)
+			}
+			scratch[c] = float64(code)
+		}
+		if buffered > 0 && buffered+rowBytes > budget {
+			if err := flush(); err != nil {
+				return stats, err
+			}
+		}
+		for _, c := range newLabels {
+			label := strings.Clone(rec[c])
+			codeOf[c][label] = len(codeOf[c])
+			delta[c] = append(delta[c], label)
+			hasDelta = true
+		}
+		for c := range scratch {
+			cols[c] = append(cols[c], scratch[c])
+		}
+		buffered += rowBytes
+		stats.Rows++
+	}
+	if err := flush(); err != nil {
+		return stats, err
+	}
+	return stats, w.Commit()
+}

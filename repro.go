@@ -92,6 +92,39 @@
 // The one-shot Anonymize(table, cfg) remains fully supported as a shim
 // over a throwaway engine for callers that anonymize a table exactly once.
 //
+// # Persistence
+//
+// Engines can be backed by a persistent columnar store so million-row
+// tables load once, reopen without re-parsing CSV, and every Append/
+// Delete epoch survives a process restart:
+//
+//	st, err := repro.FileStore("/var/lib/tcm")   // embedded, single file per dataset
+//
+//	// First boot: stream a large CSV straight into the store under a
+//	// bounded memory budget (the table is never materialized), or
+//	// snapshot a table you already hold with repro.Create.
+//	stats, err := repro.IngestCSV(st, "patients", csvReader, 0)
+//
+//	eng, err := repro.Open(st, "patients")       // materialize + prepare
+//	res, err := eng.Run(ctx, spec)
+//
+//	// Epochs on an opened engine write through: each Append/Delete is
+//	// durable (fsynced, checksummed) before it becomes visible to runs.
+//	err = eng.Append(rows...)
+//
+//	// After a crash or restart: Open restores the same table (bit for
+//	// bit — verify with repro.TableHash), the same epoch counter, and a
+//	// replayable epoch log, so releases are byte-identical to the
+//	// pre-restart engine's.
+//	eng, err = repro.Open(st, "patients")
+//
+// The store is an implementation of the append-only block-log format
+// documented in internal/store (columnar segments, dictionary pages,
+// checksummed commit manifests); a torn tail from a crash rolls back to
+// the last committed epoch on reopen. MemStore provides the same
+// contract in memory. Engines without a store behave exactly as before —
+// the in-memory path stays the hot path.
+//
 // # Serving
 //
 // For long-lived deployments the library ships as a service: cmd/tcserved
@@ -118,6 +151,7 @@ import (
 	"repro/internal/micro"
 	"repro/internal/privacy"
 	"repro/internal/risk"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/tclose"
 )
@@ -224,6 +258,50 @@ const (
 	// MondrianBaseline is the generalization/recoding comparison baseline.
 	MondrianBaseline = core.MondrianBaseline
 )
+
+// Persistent dataset storage; see the Persistence section of the package
+// documentation and the internal/store package for the file format and
+// crash-safety contract.
+type (
+	// Store is a persistent (or in-memory) columnar dataset backend with
+	// durable epoch history.
+	Store = store.Backend
+	// IngestStats reports what a streaming CSV ingest did, including the
+	// chunk buffer's high-water mark (the memory-budget contract).
+	IngestStats = store.IngestStats
+)
+
+// FileStore opens (creating if needed) the embedded persistent store
+// rooted at dir: one append-only checksummed file per dataset.
+func FileStore(dir string) (Store, error) { return store.NewFileBackend(dir) }
+
+// MemStore returns an in-memory Store with the same contract as
+// FileStore, for tests and ephemeral use.
+func MemStore() Store { return store.NewMemBackend() }
+
+// Open materializes a stored dataset and prepares an engine over it with
+// its epoch history restored; Append/Delete on the opened engine persist
+// durably before becoming visible. See core.Open.
+func Open(s Store, name string, opts ...Option) (*Engine, error) { return core.Open(s, name, opts...) }
+
+// Create snapshots a table into the store under name and opens an engine
+// over it; see core.Create.
+func Create(s Store, name string, t *Table, opts ...Option) (*Engine, error) {
+	return core.Create(s, name, t, opts...)
+}
+
+// IngestCSV bulk-loads a two-header CSV stream into the store as a new
+// dataset without materializing the table, flushing columnar chunks
+// whenever the buffer would exceed budget bytes (a default budget when
+// budget <= 0). The result is bit-identical to ReadCSV + Create.
+func IngestCSV(s Store, name string, r io.Reader, budget int) (IngestStats, error) {
+	return store.IngestCSV(s, name, r, budget)
+}
+
+// TableHash returns a hex SHA-256 fingerprint of a table's full logical
+// content (schema, dictionaries, exact value bits) — equal hashes mean
+// bit-identical tables, the check the restart conformance relies on.
+func TableHash(t *Table) string { return store.TableHash(t) }
 
 // Anonymize runs the configured algorithm over a throwaway engine and
 // returns the release and its diagnostics; see core.Anonymize. Every call
