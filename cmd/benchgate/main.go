@@ -17,9 +17,18 @@
 // the classic from-scratch grid (empty variant), so older reports without
 // variant cells compare unchanged.
 //
+// A multiplicative tolerance alone cannot gate sub-millisecond cells on a
+// noisy host: 1.3x of 0.9ms is a 0.3ms margin, well inside scheduler
+// jitter, so a cell can trip the gate with no code change at all. The
+// -floor flag (seconds) adds an absolute grace: a cell only regresses
+// when it exceeds BOTH the multiplicative limit and base+floor. A floor
+// of a few milliseconds is far below any real regression on the cells
+// that matter (which run tens of milliseconds to seconds) while making
+// the ~1ms warm-repair cells immune to jitter.
+//
 // Usage:
 //
-//	benchgate -base BENCH_1.json -new BENCH_2.json [-tol 1.3] [-norm]
+//	benchgate -base BENCH_1.json -new BENCH_2.json [-tol 1.3] [-norm] [-floor 0.005]
 package main
 
 import (
@@ -82,6 +91,8 @@ func main() {
 	tol := flag.Float64("tol", 1.3, "multiplicative noise tolerance")
 	norm := flag.Bool("norm", false,
 		"normalize out machine speed: gate each cell against the median new/base ratio across shared cells")
+	floor := flag.Float64("floor", 0,
+		"absolute noise grace in seconds: a cell regresses only beyond BOTH tol*base and base+floor (0 disables)")
 	flag.Parse()
 	if *base == "" || *next == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
@@ -148,6 +159,9 @@ func main() {
 		}
 		compared++
 		limit := b * scale * *tol
+		if withGrace := b*scale + *floor; withGrace > limit {
+			limit = withGrace
+		}
 		verdict := "ok"
 		if nw > limit {
 			verdict = "REGRESSED"

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// ingestCensus writes the census fixture through the streaming CSV
+// ingester under a tiny chunk budget, so the stored dataset holds many
+// small chunks and a streaming open has real batching to do.
+func ingestCensus(t *testing.T, b store.Backend, name string, n int) *dataset.Table {
+	t.Helper()
+	tbl := synth.Census(n, synth.FedTax, synth.DefaultSeed)
+	var csv strings.Builder
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.IngestCSV(b, name, strings.NewReader(csv.String()), 4<<10); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// OpenStreaming must be bit-identical to Open on the same backend: same
+// table hash, same epoch counter, and byte-identical releases across all
+// six algorithms on the census fixture.
+func TestOpenStreamingBitIdenticalAllAlgorithms(t *testing.T) {
+	b, err := store.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ingestCensus(t, b, "census", 700)
+
+	cold, err := Open(b, "census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := OpenStreaming(b, "census", 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := store.TableHash(streamed.Table()), store.TableHash(src); got != want {
+		t.Fatalf("streamed table hash %s, source %s", got, want)
+	}
+	if streamed.Epoch() != cold.Epoch() {
+		t.Fatalf("streamed epoch %d, cold %d", streamed.Epoch(), cold.Epoch())
+	}
+	for _, alg := range []Algorithm{
+		Merge, KAnonymityFirst, TClosenessFirst,
+		MondrianBaseline, SABREBaseline, IncognitoBaseline,
+	} {
+		spec := Spec{Algorithm: alg, K: 4, T: 0.3}
+		want := releaseCSV(t, cold, spec)
+		got := releaseCSV(t, streamed, spec)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: streamed release differs from cold open release", alg)
+		}
+	}
+}
+
+// The batch boundaries must not matter: any budget — one byte (every
+// chunk its own batch), mid-size, larger than the dataset (one batch) —
+// produces the same engine.
+func TestOpenStreamingBudgetSweep(t *testing.T) {
+	b, err := store.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCensus(t, b, "census", 500)
+	cold, err := Open(b, "census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Algorithm: TClosenessFirst, K: 3, T: 0.25}
+	wantHash := store.TableHash(cold.Table())
+	wantRelease := releaseCSV(t, cold, spec)
+	for _, budget := range []int{1, 4 << 10, 1 << 20} {
+		eng, err := OpenStreaming(b, "census", budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if got := store.TableHash(eng.Table()); got != wantHash {
+			t.Fatalf("budget %d: table hash %s, want %s", budget, got, wantHash)
+		}
+		if got := releaseCSV(t, eng, spec); !bytes.Equal(got, wantRelease) {
+			t.Fatalf("budget %d: release differs", budget)
+		}
+	}
+}
+
+// Epoch histories — appends introducing new dictionary labels, deletes,
+// then more appends — must stream back exactly as Open materializes
+// them, on both backends: same hash, same epoch log (observable through
+// warm replay), byte-identical releases, and the streamed engine must
+// keep writing through durably.
+func TestOpenStreamingEpochReplay(t *testing.T) {
+	file, err := store.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, b := range map[string]store.Backend{"file": file, "mem": store.NewMemBackend()} {
+		t.Run(kind, func(t *testing.T) {
+			eng, err := Create(b, "ds", mixedTable(t, 120))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Append(
+				[]any{33.0, 90100.0, "kirkenes", "flu"},
+				[]any{58.0, 90200.0, "oslo", "asthma"},
+			); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Delete(3, 17, 40); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Append([]any{41.0, 90300.0, "vadso", "cold"}); err != nil {
+				t.Fatal(err)
+			}
+			spec := Spec{Algorithm: TClosenessFirst, K: 4, T: 0.3}
+			release := releaseCSV(t, eng, spec)
+
+			streamed, err := OpenStreaming(b, "ds", 1<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Epoch() != 3 {
+				t.Fatalf("streamed epoch %d, want 3", streamed.Epoch())
+			}
+			if got, want := store.TableHash(streamed.Table()), store.TableHash(eng.Table()); got != want {
+				t.Fatalf("streamed table hash %s, want %s", got, want)
+			}
+			if got := releaseCSV(t, streamed, spec); !bytes.Equal(got, release) {
+				t.Fatal("streamed release differs from the writing engine's")
+			}
+
+			// The epoch log must be intact for warm replay across epochs
+			// opened after the streaming restore.
+			warm := Spec{Algorithm: TClosenessFirst, K: 4, T: 0.3, Warm: true}
+			if _, err := streamed.Run(t.Context(), warm); err != nil {
+				t.Fatal(err)
+			}
+			if err := streamed.Delete(5, 6); err != nil {
+				t.Fatal(err)
+			}
+			res, err := streamed.Run(t.Context(), warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Warm == nil {
+				t.Fatal("warm run after streamed open did not use the warm cache")
+			}
+
+			// And the write-through continues: a fresh open (either path)
+			// sees the epoch the streamed engine persisted.
+			reopened, err := OpenStreaming(b, "ds", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reopened.Epoch() != 4 {
+				t.Fatalf("reopened epoch %d, want 4", reopened.Epoch())
+			}
+			if got, want := store.TableHash(reopened.Table()), store.TableHash(streamed.Table()); got != want {
+				t.Fatalf("reopened table hash %s, want %s", got, want)
+			}
+		})
+	}
+}
+
+// The memory contract: a 1M-row streaming open must never hold a second
+// full copy of the raw table. Peak heap while opening stays within the
+// final substrate plus a fixed allowance that is far smaller than the
+// raw table (which a materializing open necessarily doubles through).
+func TestOpenStreamingMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-row open skipped in -short mode")
+	}
+	const rows = 1_000_000
+	b, err := store.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := synth.PatientDischarge(rows, 5)
+	rawTableBytes := uint64(8 * rows * src.Width())
+	if err := store.Write(b, "big", src); err != nil {
+		t.Fatal(err)
+	}
+	src = nil
+
+	// Keep the collector close on the allocator's heels so sampled heap
+	// tracks live bytes instead of GOGC headroom.
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+	runtime.GC()
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	const budget = 8 << 20
+	eng, err := OpenStreaming(b, "big", budget)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != rows {
+		t.Fatalf("opened %d rows, want %d", eng.Len(), rows)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	live := after.HeapAlloc // the substrate the engine retains
+	t.Logf("raw table %d MiB, substrate (live after open) %d MiB, sampled peak %d MiB",
+		rawTableBytes>>20, live>>20, peak.Load()>>20)
+
+	// The allowance covers one budget-sized batch, per-batch bookkeeping,
+	// and GC lag — it must stay well under the raw table size, or the open
+	// is holding a second copy.
+	allowance := uint64(budget) + rawTableBytes/4
+	if max := live + allowance; peak.Load() > max {
+		t.Fatalf("peak heap %d MiB exceeds substrate %d MiB + allowance %d MiB",
+			peak.Load()>>20, live>>20, allowance>>20)
+	}
+	runtime.KeepAlive(eng)
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import "fmt"
+
+// Batcher coalesces columnar chunks into budget-sized batches before a
+// flush callback consumes them. Substrate builders pay O(rows-so-far)
+// bookkeeping per batch (extending EMD prefix spaces, recomputing
+// normalization bounds), so feeding them a long stream of small chunks —
+// exactly what a tight-budget ingest produces — degenerates to
+// O(n × chunks); re-batching near the memory budget keeps the build at
+// O(n × batches) while the buffered bytes stay bounded by the budget
+// (plus one incoming chunk, which is itself budget-bounded at write
+// time).
+//
+// Coalescing dictionary deltas ahead of their values is sound because a
+// chunk's codes only ever reference the dictionary as extended up to and
+// including that chunk: applying all the deltas of a batch first can only
+// widen the valid code range of the earlier chunks, never shrink it.
+type Batcher struct {
+	width  int
+	budget int
+	flush  func(cols [][]float64, dictDelta [][]string) error
+
+	cols  [][]float64
+	dicts [][]string
+	bytes int
+}
+
+// NewBatcher returns a Batcher of the given column width that delivers
+// batches of roughly budget bytes to flush. A non-positive budget
+// flushes every Add immediately. The flush callback receives column
+// slices owned by the Batcher's next batch — consume or copy them before
+// returning.
+func NewBatcher(width, budget int, flush func(cols [][]float64, dictDelta [][]string) error) *Batcher {
+	if width <= 0 {
+		panic(fmt.Sprintf("dataset: batcher width %d", width))
+	}
+	return &Batcher{width: width, budget: budget, flush: flush}
+}
+
+// Add buffers one chunk, flushing the buffered batch first when adding
+// the chunk would exceed the budget. A single chunk larger than the
+// whole budget passes through as its own batch.
+func (b *Batcher) Add(cols [][]float64, dictDelta [][]string) error {
+	if len(cols) != b.width {
+		return fmt.Errorf("dataset: batcher got %d columns, want %d", len(cols), b.width)
+	}
+	size := 0
+	rows := 0
+	if b.width > 0 {
+		rows = len(cols[0])
+	}
+	size += 8 * rows * b.width
+	for _, d := range dictDelta {
+		for _, s := range d {
+			size += len(s) + 16
+		}
+	}
+	if b.bytes > 0 && b.bytes+size > b.budget {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	if b.cols == nil {
+		b.cols = make([][]float64, b.width)
+	}
+	for c := range cols {
+		b.cols[c] = append(b.cols[c], cols[c]...)
+	}
+	for c, d := range dictDelta {
+		if len(d) == 0 {
+			continue
+		}
+		if b.dicts == nil {
+			b.dicts = make([][]string, b.width)
+		}
+		b.dicts[c] = append(b.dicts[c], d...)
+	}
+	b.bytes += size
+	if b.bytes >= b.budget {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush delivers the buffered batch, if any, and resets the buffer.
+func (b *Batcher) Flush() error {
+	if b.cols == nil && b.dicts == nil {
+		return nil
+	}
+	cols, dicts := b.cols, b.dicts
+	b.cols, b.dicts, b.bytes = nil, nil, 0
+	if cols == nil {
+		cols = make([][]float64, b.width)
+	}
+	return b.flush(cols, dicts)
+}

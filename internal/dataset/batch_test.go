@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The Batcher must deliver every value and dictionary label exactly
+// once, in order, with batch payloads bounded by the budget (except a
+// single oversized chunk, which passes through whole).
+func TestBatcherCoalesces(t *testing.T) {
+	var gotVals []float64
+	var gotDicts []string
+	batches := 0
+	bat := NewBatcher(2, 64*8*2, func(cols [][]float64, dicts [][]string) error {
+		batches++
+		if len(cols[0]) > 0 && 8*len(cols[0])*2 > 64*8*2 {
+			t.Fatalf("batch of %d rows exceeds budget", len(cols[0]))
+		}
+		gotVals = append(gotVals, cols[0]...)
+		gotVals = append(gotVals, cols[1]...)
+		for _, d := range dicts {
+			gotDicts = append(gotDicts, d...)
+		}
+		return nil
+	})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		n := 1 + rng.Intn(12)
+		cols := [][]float64{make([]float64, n), make([]float64, n)}
+		for r := 0; r < n; r++ {
+			cols[0][r] = float64(i*100 + r)
+			cols[1][r] = float64(-(i*100 + r))
+		}
+		var dicts [][]string
+		if i%7 == 0 {
+			dicts = [][]string{nil, {string(rune('a' + i/7))}}
+		}
+		if err := bat.Add(cols, dicts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batches < 3 {
+		t.Fatalf("only %d batches for 40 chunks under a small budget", batches)
+	}
+	sum := 0.0
+	for _, v := range gotVals {
+		sum += v
+	}
+	if sum != 0 {
+		t.Fatalf("value sum %v, want 0 (col1 mirrors col0 negated)", sum)
+	}
+	if len(gotDicts) != 6 {
+		t.Fatalf("delivered %d dict labels, want 6", len(gotDicts))
+	}
+	for i, d := range gotDicts {
+		if d != string(rune('a'+i)) {
+			t.Fatalf("dict label %d is %q, want %q (order lost)", i, d, string(rune('a'+i)))
+		}
+	}
+}
+
+// An oversized single chunk flushes what is buffered first, then passes
+// through as its own batch; a budget of 1 makes every Add its own batch.
+func TestBatcherOversizedAndTiny(t *testing.T) {
+	batches := 0
+	bat := NewBatcher(1, 1, func(cols [][]float64, dicts [][]string) error {
+		batches++
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		if err := bat.Add([][]float64{{1, 2, 3}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batches != 5 {
+		t.Fatalf("budget 1: %d batches for 5 chunks, want 5", batches)
+	}
+	if err := bat.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if batches != 5 {
+		t.Fatal("empty Flush still delivered a batch")
+	}
+}
+
+// NormParamsFromBounds over running bounds must equal the whole-column
+// scan bit for bit, including NaN columns and near-overflow ranges.
+func TestNormParamsFromBoundsMatchesScan(t *testing.T) {
+	schema := MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "b", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "s", Role: Confidential, Kind: Numeric},
+	)
+	tbl := MustTable(schema)
+	vals := [][]float64{
+		{1, -math.MaxFloat64, 0},
+		{5, math.MaxFloat64, 0},
+		{math.NaN(), 3, 0},
+		{2, 8, 0},
+	}
+	// Running bounds folded batch-by-batch, first value initializing —
+	// the exact decomposition a streaming build uses.
+	los := []float64{0, 0}
+	his := []float64{0, 0}
+	for r, row := range vals {
+		if err := tbl.AppendNumericRow(row...); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			v := row[j]
+			if r == 0 {
+				los[j], his[j] = v, v
+				continue
+			}
+			if v < los[j] {
+				los[j] = v
+			}
+			if v > his[j] {
+				his[j] = v
+			}
+		}
+	}
+	want := tbl.QINormParams()
+	got := NormParamsFromBounds(los, his)
+	if !got.Equal(want) && !(paramsNaNEqual(got, want)) {
+		t.Fatalf("bounds-derived params %+v, scan params %+v", got, want)
+	}
+	// And the matrix built under the bounds-derived frame is bit-identical.
+	a := tbl.QIMatrixTail(0, want)
+	b := tbl.QIMatrixTail(0, got)
+	for r := range a {
+		for j := range a[r] {
+			if math.Float64bits(a[r][j]) != math.Float64bits(b[r][j]) {
+				t.Fatalf("row %d col %d: %v vs %v", r, j, a[r][j], b[r][j])
+			}
+		}
+	}
+}
+
+// paramsNaNEqual treats NaN==NaN (Equal uses != and so reports false for
+// frames with NaN members even when bit-identical).
+func paramsNaNEqual(a, b NormParams) bool {
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Mins, b.Mins) && eq(a.Ranges, b.Ranges) && eq(a.Scales, b.Scales)
+}
+
+// NormalizeQIInto must write exactly what QIMatrixTail computes, and
+// must overwrite stale values in a reused destination (zero-range
+// columns included).
+func TestNormalizeQIInto(t *testing.T) {
+	schema := MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "c", Role: QuasiIdentifier, Kind: Numeric}, // constant → range 0
+		Attribute{Name: "s", Role: Confidential, Kind: Numeric},
+	)
+	tbl := MustTable(schema)
+	for r := 0; r < 10; r++ {
+		if err := tbl.AppendNumericRow(float64(r*r), 7, float64(r%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := tbl.QINormParams()
+	want := tbl.QIMatrixTail(0, p)
+	dst := make([]float64, 10*2)
+	for i := range dst {
+		dst[i] = math.Inf(1) // stale garbage that must be overwritten
+	}
+	tbl.NormalizeQIInto(dst, 0, 10, p)
+	for r := 0; r < 10; r++ {
+		for j := 0; j < 2; j++ {
+			if math.Float64bits(dst[r*2+j]) != math.Float64bits(want[r][j]) {
+				t.Fatalf("row %d col %d: %v, want %v", r, j, dst[r*2+j], want[r][j])
+			}
+		}
+	}
+}
+
+// Grow is capacity-only: length, values and appends are unaffected, and
+// post-Grow appends up to the reserved size do not reallocate columns.
+func TestTableGrow(t *testing.T) {
+	schema := MustSchema(
+		Attribute{Name: "a", Role: QuasiIdentifier, Kind: Numeric},
+		Attribute{Name: "s", Role: Confidential, Kind: Numeric},
+	)
+	tbl := MustTable(schema)
+	if err := tbl.AppendNumericRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Grow(100)
+	if tbl.Len() != 1 {
+		t.Fatalf("Grow changed Len to %d", tbl.Len())
+	}
+	base := &tbl.ColumnView(0)[0]
+	for r := 0; r < 99; r++ {
+		if err := tbl.AppendNumericRow(float64(r), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len %d, want 100", tbl.Len())
+	}
+	if base != &tbl.ColumnView(0)[0] {
+		t.Fatal("appends within the reserved capacity reallocated the column")
+	}
+}

@@ -69,6 +69,21 @@ func (t *Table) Len() int { return t.rows }
 // Width returns the number of attributes.
 func (t *Table) Width() int { return t.schema.Len() }
 
+// Grow reserves column capacity so the table can reach at least rows
+// total records without reallocating — the preallocation hint of a
+// streaming build that knows the final size up front. It never shrinks
+// and never changes Len.
+func (t *Table) Grow(rows int) {
+	for i, col := range t.cols {
+		if cap(col) >= rows {
+			continue
+		}
+		nc := make([]float64, len(col), rows)
+		copy(nc, col)
+		t.cols[i] = nc
+	}
+}
+
 // AppendNumericRow appends a record whose values are all numeric. It returns
 // an error if the schema contains categorical attributes or the width is
 // wrong.
@@ -374,13 +389,27 @@ func (t *Table) QINormParams() NormParams {
 }
 
 func (t *Table) normParams(cols []int) NormParams {
-	p := NormParams{
-		Mins:   make([]float64, len(cols)),
-		Ranges: make([]float64, len(cols)),
-		Scales: make([]float64, len(cols)),
-	}
+	los := make([]float64, len(cols))
+	his := make([]float64, len(cols))
 	for j, c := range cols {
-		lo, hi := minMax(t.cols[c][:t.rows])
+		los[j], his[j] = minMax(t.cols[c][:t.rows])
+	}
+	return NormParamsFromBounds(los, his)
+}
+
+// NormParamsFromBounds builds the normalization frame from explicit raw
+// per-column bounds. It is the same derivation QINormParams applies to
+// the bounds it scans from the table, factored out so a streaming build
+// tracking running minima/maxima gets a bit-identical frame without
+// holding the whole table.
+func NormParamsFromBounds(los, his []float64) NormParams {
+	p := NormParams{
+		Mins:   make([]float64, len(los)),
+		Ranges: make([]float64, len(los)),
+		Scales: make([]float64, len(los)),
+	}
+	for j := range los {
+		lo, hi := los[j], his[j]
 		// scale halves the values before normalizing when hi-lo would
 		// overflow float64 (possible for columns spanning nearly the full
 		// float range).
@@ -407,19 +436,36 @@ func (t *Table) QIMatrixTail(from int, p NormParams) [][]float64 {
 	return t.normalizeRows(t.schema.QuasiIdentifiers(), from, t.rows, p)
 }
 
+// NormalizeQIInto writes the normalized quasi-identifier rows [lo, hi)
+// under frame p into dst, row-major, without allocating: dst must hold at
+// least (hi-lo)*len(QuasiIdentifiers()) values. It is the in-place core
+// of QIMatrixTail, exposed so a streaming build can renormalize its
+// backing array window by window when an appended batch widens a range.
+func (t *Table) NormalizeQIInto(dst []float64, lo, hi int, p NormParams) {
+	t.normalizeInto(dst, t.schema.QuasiIdentifiers(), lo, hi, p)
+}
+
 func (t *Table) normalizeRows(cols []int, lo, hi int, p NormParams) [][]float64 {
 	m := make([][]float64, hi-lo)
 	flat := make([]float64, (hi-lo)*len(cols))
+	t.normalizeInto(flat, cols, lo, hi, p)
+	for r := range m {
+		m[r] = flat[r*len(cols) : (r+1)*len(cols)]
+	}
+	return m
+}
+
+func (t *Table) normalizeInto(dst []float64, cols []int, lo, hi int, p NormParams) {
 	for r := lo; r < hi; r++ {
-		row := flat[(r-lo)*len(cols) : (r-lo+1)*len(cols)]
+		row := dst[(r-lo)*len(cols) : (r-lo+1)*len(cols)]
 		for j, c := range cols {
 			if p.Ranges[j] > 0 {
 				row[j] = (t.cols[c][r]*p.Scales[j] - p.Mins[j]) / p.Ranges[j]
+			} else {
+				row[j] = 0 // dst may be reused across renormalizations
 			}
 		}
-		m[r-lo] = row
 	}
-	return m
 }
 
 // Ranks returns, for the given column, the rank of each record's value among

@@ -61,6 +61,22 @@ func (c *resultCache) get(k cacheKey) (*core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// evictDataset drops every cached release of the named dataset — the
+// unregistration path, where a later dataset reusing the name must never
+// be served the old dataset's releases.
+func (c *resultCache) evictDataset(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if key := el.Value.(*cacheEntry).key; key.dataset == name {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+		el = next
+	}
+}
+
 func (c *resultCache) put(k cacheKey, res *core.Result) {
 	if c.cap <= 0 {
 		return

@@ -89,6 +89,12 @@ type Config struct {
 	// RestoreDatasets on a later boot serves the same datasets at the same
 	// epochs with identical table hashes. Nil keeps datasets in memory only.
 	Store store.Backend
+	// OpenBudget, when positive, makes RestoreDatasets rebuild each stored
+	// dataset through the streaming open path (core.OpenStreaming) with
+	// this chunk-coalescing byte budget: boot-time peak memory per dataset
+	// is bounded by the budget plus the engine substrate, never a second
+	// full copy of the raw table. 0 keeps the materializing core.Open.
+	OpenBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +189,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleRemoveDataset)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppend)
 	s.mux.HandleFunc("DELETE /v1/datasets/{name}/rows", s.handleDeleteRows)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -307,21 +314,38 @@ func (s *Server) reserveDataset(name string) error {
 // counter, replayable epoch log, and bit-identical table of the engine
 // that wrote the store, so releases match across the restart. It returns
 // the restored names in lexical order; with no store configured it
-// restores nothing.
+// restores nothing. With Config.OpenBudget set, each engine is rebuilt
+// through the streaming open path instead of materializing the table
+// twice.
+//
+// A data directory holding files the store cannot account for does not
+// abort the boot: every intact dataset is still restored, and the names
+// come back alongside a *store.StrayFilesError (match with errors.As)
+// describing what was skipped, so the operator learns about the strays
+// without losing service.
 func (s *Server) RestoreDatasets() ([]string, error) {
 	if s.cfg.Store == nil {
 		return nil, nil
 	}
-	names, err := s.cfg.Store.List()
-	if err != nil {
-		return nil, err
+	names, listErr := s.cfg.Store.List()
+	var strays *store.StrayFilesError
+	if listErr != nil && !errors.As(listErr, &strays) {
+		return nil, listErr
 	}
 	for _, name := range names {
 		if err := s.reserveDataset(name); err != nil {
 			return nil, err
 		}
 		ds := &datasetEntry{name: name, created: time.Now()}
-		eng, err := core.Open(s.cfg.Store, name, s.engineOptions(ds)...)
+		var (
+			eng *core.Engine
+			err error
+		)
+		if s.cfg.OpenBudget > 0 {
+			eng, err = core.OpenStreaming(s.cfg.Store, name, s.cfg.OpenBudget, s.engineOptions(ds)...)
+		} else {
+			eng, err = core.Open(s.cfg.Store, name, s.engineOptions(ds)...)
+		}
 		s.mu.Lock()
 		delete(s.reserved, name)
 		if err != nil {
@@ -332,7 +356,7 @@ func (s *Server) RestoreDatasets() ([]string, error) {
 		s.datasets[name] = ds
 		s.mu.Unlock()
 	}
-	return names, nil
+	return names, listErr
 }
 
 // engineOptions wires the per-dataset engine: the worker cap and the
@@ -485,6 +509,47 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		"table_hash": store.TableHash(ds.eng.Table()),
 		"created":    ds.created.UTC().Format(time.RFC3339),
 	})
+}
+
+// handleRemoveDataset unregisters a dataset and deletes its persistent
+// state: the engine entry goes away, its cached results are evicted, and
+// the backing store file (when a store is configured) is removed. A
+// dataset with queued or running jobs is busy — 409, retry after they
+// finish; finished jobs keep their results and history. 404 on unknown
+// names.
+func (s *Server) handleRemoveDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	ds, ok := s.datasets[name]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	for _, j := range s.jobs {
+		if j.ds != ds {
+			continue
+		}
+		j.mu.Lock()
+		busy := j.state == JobQueued || j.state == JobRunning
+		j.mu.Unlock()
+		if busy {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "dataset has jobs in flight")
+			return
+		}
+	}
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	s.cache.evictDataset(name)
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Remove(name); err != nil && !errors.Is(err, store.ErrUnknownDataset) {
+			// The entry is already unregistered; surface the orphaned file.
+			httpError(w, http.StatusInternalServerError, "removing stored dataset: "+err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "removed": true})
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -650,6 +715,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	// Re-verify under the lock: the entry resolved before the cache check
+	// could have been removed (DELETE /v1/datasets/{name}) since, and a job
+	// must never enqueue against an unregistered engine.
+	if s.datasets[req.Dataset] != ds {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
 	select {
 	case s.queue <- j:
 		s.registerJobLocked(j)
@@ -659,27 +732,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.metrics.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		httpError(w, http.StatusTooManyRequests, "job queue full")
+		secs, estimate := s.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": "job queue full",
+			// The header is clamped to 60s (proxies and generic clients treat
+			// large values poorly); the body carries the real backlog estimate
+			// so clients running long jobs can back off realistically.
+			"retry_after_seconds": estimate,
+		})
 	}
 }
 
-// retryAfterSeconds estimates when queue capacity should free up: the p50
-// run latency times the queue backlog per worker, clamped to [1, 60].
-func (s *Server) retryAfterSeconds() int {
+// retryAfter estimates when queue capacity should free up: the p50 run
+// latency times the queue backlog per worker. The first value is for the
+// Retry-After header, clamped to [1, 60]; the second is the unclamped
+// estimate in seconds (at least 1 — with no completed runs yet, p50 is
+// unknown and both fall back to 1).
+func (s *Server) retryAfter() (headerSecs int, estimateSecs float64) {
 	p50, _ := s.metrics.quantiles()
 	if p50 <= 0 {
-		return 1
+		return 1, 1
 	}
 	backlogPerWorker := float64(len(s.queue))/float64(s.cfg.JobWorkers) + 1
-	secs := int(math.Ceil(p50.Seconds() * backlogPerWorker))
-	if secs < 1 {
-		secs = 1
+	estimateSecs = p50.Seconds() * backlogPerWorker
+	if estimateSecs < 1 {
+		estimateSecs = 1
 	}
+	secs := int(math.Ceil(estimateSecs))
 	if secs > 60 {
 		secs = 60
 	}
-	return secs
+	return secs, estimateSecs
 }
 
 func (s *Server) registerJob(j *job) {

@@ -118,25 +118,48 @@ func (b *FileBackend) path(name string) string {
 	return filepath.Join(b.dir, url.PathEscape(name)+".tcs")
 }
 
+// StrayFilesError reports .tcs entries in the data directory whose names
+// this backend cannot account for (the dataset-name unescape fails) —
+// data-dir corruption, foreign files, or a renamed dataset file. List
+// returns it *alongside* the valid names so callers can keep serving
+// what is intact while surfacing what is not; match with errors.As.
+type StrayFilesError struct {
+	// Files holds the stray file names (base names, not paths).
+	Files []string
+}
+
+func (e *StrayFilesError) Error() string {
+	return fmt.Sprintf("store: %d stray .tcs file(s) in data dir not written by this backend: %s",
+		len(e.Files), strings.Join(e.Files, ", "))
+}
+
 // List returns the committed dataset names (files are only renamed into
 // place at snapshot commit, so every .tcs file is a committed dataset).
+// When the directory also holds .tcs files this backend cannot have
+// written, the names are still returned and the error is a
+// *StrayFilesError describing the strays — they are surfaced, never
+// silently dropped.
 func (b *FileBackend) List() ([]string, error) {
 	ents, err := os.ReadDir(b.dir)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	var names, strays []string
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tcs") {
 			continue
 		}
 		name, err := url.PathUnescape(strings.TrimSuffix(e.Name(), ".tcs"))
 		if err != nil {
-			continue // not a file this backend wrote
+			strays = append(strays, e.Name())
+			continue
 		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	if len(strays) > 0 {
+		return names, &StrayFilesError{Files: strays}
+	}
 	return names, nil
 }
 

@@ -110,6 +110,32 @@ func (b *FileBackend) Chunks(name string, fn func(*dataset.Schema, ColumnChunk) 
 	return err
 }
 
+// Stream implements Backend. The replay is necessarily a second pass
+// over the file (scanValid must find the last commit first so torn tails
+// never reach the handler), but it decodes one chunk at a time — nothing
+// beyond the current chunk is resident.
+func (b *FileBackend) Stream(name string, h StreamHandler) ([]Epoch, error) {
+	st, err := b.lockState(name)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.Unlock()
+	if h.Begin != nil {
+		if err := h.Begin(st.schema, st.rows); err != nil {
+			return nil, err
+		}
+	}
+	var chunk func(*dataset.Schema, ColumnChunk) error
+	if h.Chunk != nil {
+		chunk = func(_ *dataset.Schema, ch ColumnChunk) error { return h.Chunk(ch) }
+	}
+	fresh, err := b.load(name, replayHooks{chunk: chunk, tomb: h.Tombstone})
+	if err != nil {
+		return nil, err
+	}
+	return fresh.epochs, nil
+}
+
 // validateCodes rejects categorical values that are not integral codes
 // within the column's post-chunk dictionary, so structurally valid but
 // meaningless data never reaches disk.

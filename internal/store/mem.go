@@ -97,6 +97,72 @@ func (b *MemBackend) Chunks(name string, fn func(*dataset.Schema, ColumnChunk) e
 	return nil
 }
 
+// Stream implements Backend. The chunk/tombstone interleaving is
+// reconstructed from the epoch log: the snapshot's chunks come first
+// (len(chunks) minus one per append epoch), then each epoch contributes
+// its chunk or its tombstone ids (recovered from OldToNew) in order.
+// Chunks are deep-copied so the handler cannot alias store history.
+func (b *MemBackend) Stream(name string, h StreamHandler) ([]Epoch, error) {
+	b.mu.Lock()
+	d, ok := b.datasets[name]
+	if !ok {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	chunks := make([]ColumnChunk, len(d.chunks))
+	copy(chunks, d.chunks)
+	epochs := make([]Epoch, len(d.epochs))
+	copy(epochs, d.epochs)
+	schema, rows := d.schema, d.table.Len()
+	b.mu.Unlock()
+
+	if h.Begin != nil {
+		if err := h.Begin(schema, rows); err != nil {
+			return nil, err
+		}
+	}
+	emit := func(ch ColumnChunk) error {
+		if h.Chunk == nil {
+			return nil
+		}
+		return h.Chunk(copyChunk(ch))
+	}
+	snapshot := len(chunks)
+	for _, ep := range epochs {
+		if ep.OldToNew == nil {
+			snapshot--
+		}
+	}
+	for _, ch := range chunks[:snapshot] {
+		if err := emit(ch); err != nil {
+			return nil, err
+		}
+	}
+	next := snapshot
+	for _, ep := range epochs {
+		if ep.OldToNew == nil {
+			if err := emit(chunks[next]); err != nil {
+				return nil, err
+			}
+			next++
+			continue
+		}
+		if h.Tombstone == nil {
+			continue
+		}
+		var ids []int
+		for id, to := range ep.OldToNew {
+			if to == -1 {
+				ids = append(ids, id)
+			}
+		}
+		if err := h.Tombstone(ids); err != nil {
+			return nil, err
+		}
+	}
+	return epochs, nil
+}
+
 // AppendEpoch implements Backend.
 func (b *MemBackend) AppendEpoch(name string, ch ColumnChunk) error {
 	b.mu.Lock()

@@ -71,6 +71,20 @@ type SnapshotWriter interface {
 	Close() error
 }
 
+// StreamHandler receives a dataset's committed history in commit order
+// during Backend.Stream. Any hook may be nil. Begin fires once, before
+// any content, with the schema and the final row count (after every
+// committed epoch — a preallocation hint for out-of-core builders).
+// Chunk fires for every snapshot and append-epoch chunk, Tombstone for
+// every deletion epoch, interleaved exactly as committed; tombstone row
+// ids are in the numbering of the epoch they were committed against,
+// ascending and unique. Handlers own the chunk slices they receive.
+type StreamHandler struct {
+	Begin     func(schema *dataset.Schema, rows int) error
+	Chunk     func(ch ColumnChunk) error
+	Tombstone func(rowIDs []int) error
+}
+
 // Backend is a store of named columnar datasets with durable epoch
 // history. Implementations must be safe for concurrent use; per-dataset
 // operations (AppendEpoch, DeleteEpoch vs Open/Chunks) may be serialized
@@ -84,16 +98,25 @@ type Backend interface {
 	Open(name string) (*dataset.Table, []Epoch, error)
 	// Chunks streams the dataset's schema and committed column chunks in
 	// commit order (snapshot chunks first, then append-epoch chunks;
-	// deletion epochs do not produce chunks — consume Open for a
-	// tombstone-applied view).
+	// deletion epochs do not produce chunks — consume Stream or Open for
+	// a tombstone-aware view).
 	Chunks(name string, fn func(*dataset.Schema, ColumnChunk) error) error
+	// Stream replays the dataset's full committed history — chunks and
+	// tombstones interleaved in commit order — without materializing the
+	// table, and returns the epoch log Open would return. It is the
+	// out-of-core counterpart of Open: peak memory is one chunk plus
+	// whatever the handler retains. See StreamHandler.
+	Stream(name string, h StreamHandler) ([]Epoch, error)
 	// AppendEpoch durably records an append epoch: the chunk holds the
 	// appended records and any dictionary labels they introduced.
 	AppendEpoch(name string, ch ColumnChunk) error
 	// DeleteEpoch durably records a tombstone epoch removing the given
 	// row ids (current numbering, duplicates allowed).
 	DeleteEpoch(name string, rowIDs []int) error
-	// List returns the committed dataset names in lexical order.
+	// List returns the committed dataset names in lexical order. An
+	// implementation may return valid names alongside an advisory error
+	// describing entries it could not account for (FileBackend returns a
+	// *StrayFilesError); callers should use the names they got either way.
 	List() ([]string, error)
 	// Remove deletes a dataset and its history.
 	Remove(name string) error

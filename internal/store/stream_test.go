@@ -1,0 +1,187 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Stream must replay the exact committed history Open materializes —
+// chunks and tombstones interleaved in commit order — so a handler that
+// applies every event reconstructs a bit-identical table, on both
+// backends, across random epoch histories.
+func TestStreamReplayProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		tbl := randomTable(rng)
+		for kind, b := range backends(t) {
+			name := fmt.Sprintf("ds-%d", trial)
+			if err := Write(b, name, tbl); err != nil {
+				t.Fatal(err)
+			}
+			cur := tbl.Clone()
+			for e := 0; e < 4; e++ {
+				if cur.Len() > 2 && rng.Intn(2) == 0 {
+					var ids []int
+					for r := 0; r < cur.Len(); r++ {
+						if rng.Intn(4) == 0 {
+							ids = append(ids, r)
+						}
+					}
+					if err := b.DeleteEpoch(name, ids); err != nil {
+						t.Fatalf("%s delete: %v", kind, err)
+					}
+					keep := make([]int, 0, cur.Len())
+					seen := make(map[int]bool, len(ids))
+					for _, id := range ids {
+						seen[id] = true
+					}
+					for r := 0; r < cur.Len(); r++ {
+						if !seen[r] {
+							keep = append(keep, r)
+						}
+					}
+					sub, err := cur.Subset(keep)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = sub
+					continue
+				}
+				from, lens := cur.Len(), DictLens(cur)
+				n := 1 + rng.Intn(10)
+				for r := 0; r < n; r++ {
+					vals := make([]any, cur.Width())
+					for c := 0; c < cur.Width(); c++ {
+						if cur.Schema().Attr(c).Kind == dataset.Categorical {
+							vals[c] = fmt.Sprintf("new-%d-%d-%d", e, r, rng.Intn(3))
+						} else {
+							vals[c] = rng.NormFloat64()
+						}
+					}
+					if err := cur.AppendRow(vals...); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := AppendRows(b, name, cur, from, lens); err != nil {
+					t.Fatalf("%s append: %v", kind, err)
+				}
+			}
+
+			wantTbl, wantEpochs, err := b.Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rebuilt *dataset.Table
+			beginRows := -1
+			epochs, err := b.Stream(name, StreamHandler{
+				Begin: func(s *dataset.Schema, rows int) error {
+					beginRows = rows
+					var err error
+					rebuilt, err = dataset.NewTable(s)
+					return err
+				},
+				Chunk: func(ch ColumnChunk) error { return applyChunk(rebuilt, ch) },
+				Tombstone: func(ids []int) error {
+					keep := make([]int, 0, rebuilt.Len()-len(ids))
+					ti := 0
+					for r := 0; r < rebuilt.Len(); r++ {
+						if ti < len(ids) && ids[ti] == r {
+							ti++
+							continue
+						}
+						keep = append(keep, r)
+					}
+					sub, err := rebuilt.Subset(keep)
+					if err != nil {
+						return err
+					}
+					rebuilt = sub
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatalf("%s stream: %v", kind, err)
+			}
+			if beginRows != wantTbl.Len() {
+				t.Fatalf("%s: Begin rows hint %d, final table has %d", kind, beginRows, wantTbl.Len())
+			}
+			requireTablesIdentical(t, wantTbl, rebuilt)
+			if len(epochs) != len(wantEpochs) {
+				t.Fatalf("%s: stream returned %d epochs, Open %d", kind, len(epochs), len(wantEpochs))
+			}
+			for i := range epochs {
+				if epochs[i].Appended != wantEpochs[i].Appended ||
+					fmt.Sprint(epochs[i].OldToNew) != fmt.Sprint(wantEpochs[i].OldToNew) {
+					t.Fatalf("%s epoch %d: %+v, want %+v", kind, i, epochs[i], wantEpochs[i])
+				}
+			}
+		}
+	}
+}
+
+// All-nil hooks are allowed: Stream then only returns the epoch log.
+func TestStreamNilHooks(t *testing.T) {
+	tbl := randomTable(rand.New(rand.NewSource(12)))
+	for kind, b := range backends(t) {
+		if err := Write(b, "ds", tbl); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.DeleteEpoch("ds", []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		epochs, err := b.Stream("ds", StreamHandler{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(epochs) != 1 || epochs[0].OldToNew == nil {
+			t.Fatalf("%s: epochs %+v, want one deletion epoch", kind, epochs)
+		}
+		if _, err := b.Stream("missing", StreamHandler{}); !errors.Is(err, ErrUnknownDataset) {
+			t.Fatalf("%s: unknown dataset error %v", kind, err)
+		}
+	}
+}
+
+// A .tcs file whose name cannot be unescaped must be surfaced by List as
+// a StrayFilesError — alongside the valid names, never silently dropped.
+func TestListSurfacesStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(b, "good", randomTable(rand.New(rand.NewSource(13)))); err != nil {
+		t.Fatal(err)
+	}
+	// "%zz" is not a valid escape, so this name cannot have been written
+	// by the backend (it always writes url.PathEscape output).
+	stray := "%zz-bogus.tcs"
+	if err := os.WriteFile(filepath.Join(dir, stray), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := b.List()
+	if len(names) != 1 || names[0] != "good" {
+		t.Fatalf("names %v, want [good]", names)
+	}
+	var strays *StrayFilesError
+	if !errors.As(err, &strays) {
+		t.Fatalf("List error %v, want a *StrayFilesError", err)
+	}
+	if len(strays.Files) != 1 || strays.Files[0] != stray {
+		t.Fatalf("stray files %v, want [%s]", strays.Files, stray)
+	}
+
+	// A clean directory reports no error at all.
+	if err := os.Remove(filepath.Join(dir, stray)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.List(); err != nil {
+		t.Fatalf("List after cleanup: %v", err)
+	}
+}

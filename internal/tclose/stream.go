@@ -1,0 +1,209 @@
+package tclose
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/emd"
+	"repro/internal/micro"
+)
+
+// Builder assembles the Prepared substrate incrementally from columnar
+// batches — the out-of-core counterpart of Prepare. Feed it the chunks
+// of a stored dataset (dictionary deltas, value batches, tombstones) in
+// commit order and Finish returns a Prepared bit-identical to
+// Prepare(table-with-everything-applied): same table, same EMD spaces
+// (chained emd.Space.Extend is pinned bit-identical to a cold build),
+// same normalization frame (running min-max bounds reproduce the
+// whole-column scan exactly, including the NaN semantics), same
+// normalized matrix (rows are renormalized in place whenever a batch
+// widens a quasi-identifier's range, so the final frame covers every
+// row). Peak memory is the growing substrate plus one batch — never a
+// second copy of the raw table.
+//
+// Deletions invalidate the incremental state: a tombstone batch filters
+// the table and Finish falls back to a cold Prepare, mirroring how the
+// engine itself rebuilds on Delete. A Builder is single-use and not safe
+// for concurrent use.
+type Builder struct {
+	table    *dataset.Table
+	qiCols   []int
+	confCols []int
+
+	spaces []*emd.Space
+	los    []float64 // running raw bounds per quasi-identifier
+	his    []float64
+	norm   dataset.NormParams
+	flat   []float64 // normalized QI rows of every incorporated record
+	rows   int       // records incorporated into spaces/flat
+
+	hint  int
+	dirty bool // a deletion invalidated the incremental substrate
+}
+
+// NewBuilder validates the schema and returns an empty Builder. rowsHint,
+// when positive, preallocates the table columns and the normalized
+// matrix backing for that many records.
+func NewBuilder(schema *dataset.Schema, rowsHint int) (*Builder, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	tbl, err := dataset.NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	b := &Builder{
+		table:    tbl,
+		qiCols:   schema.QuasiIdentifiers(),
+		confCols: schema.Confidentials(),
+		hint:     rowsHint,
+	}
+	b.los = make([]float64, len(b.qiCols))
+	b.his = make([]float64, len(b.qiCols))
+	if rowsHint > 0 {
+		tbl.Grow(rowsHint)
+		b.flat = make([]float64, 0, rowsHint*len(b.qiCols))
+	}
+	return b, nil
+}
+
+// Table returns the table under construction. Callers must not mutate it
+// directly; it is exposed for inspection (length, dictionaries).
+func (b *Builder) Table() *dataset.Table { return b.table }
+
+// ExtendDict applies a dictionary delta, exactly as a replayed chunk
+// would before its values.
+func (b *Builder) ExtendDict(col int, labels []string) error {
+	return b.table.ExtendDict(col, labels)
+}
+
+// Append incorporates one batch of full-width columns: the table grows,
+// each confidential EMD space extends, and the batch rows are normalized
+// into the matrix backing — renormalizing every prior row first when the
+// batch widens a quasi-identifier's min-max range.
+func (b *Builder) Append(cols [][]float64) error {
+	old := b.table.Len()
+	if err := b.table.AppendColumnChunk(cols); err != nil {
+		return err
+	}
+	n := b.table.Len()
+	if n == old || b.dirty {
+		return nil
+	}
+	for i, c := range b.confCols {
+		var (
+			s   *emd.Space
+			err error
+		)
+		if b.rows == 0 {
+			if b.table.Schema().Attr(c).Kind == dataset.Categorical {
+				s, err = emd.NewNominalSpace(b.table.ColumnView(c))
+			} else {
+				s, err = emd.NewSpace(b.table.ColumnView(c))
+			}
+		} else {
+			s, err = b.spaces[i].Extend(b.table.ColumnView(c)[old:])
+		}
+		if err != nil {
+			return fmt.Errorf("tclose: building EMD space for %q: %w",
+				b.table.Schema().Attr(c).Name, err)
+		}
+		if b.spaces == nil {
+			b.spaces = make([]*emd.Space, len(b.confCols))
+		}
+		b.spaces[i] = s
+	}
+	// Fold the batch into the running bounds with the exact comparison
+	// sequence of a whole-column scan (first value initializes, the rest
+	// compare), so the resulting frame is bit-identical even around NaN.
+	for j, c := range b.qiCols {
+		vals := b.table.ColumnView(c)[old:]
+		start := 0
+		if b.rows == 0 {
+			b.los[j], b.his[j] = vals[0], vals[0]
+			start = 1
+		}
+		for _, v := range vals[start:] {
+			if v < b.los[j] {
+				b.los[j] = v
+			}
+			if v > b.his[j] {
+				b.his[j] = v
+			}
+		}
+	}
+	norm := dataset.NormParamsFromBounds(b.los, b.his)
+	dim := len(b.qiCols)
+	if cap(b.flat) < n*dim {
+		grown := make([]float64, len(b.flat), n*dim)
+		copy(grown, b.flat)
+		b.flat = grown
+	}
+	b.flat = b.flat[:n*dim]
+	if b.rows == 0 || !norm.Equal(b.norm) {
+		// A widened range invalidates every previously normalized row.
+		b.table.NormalizeQIInto(b.flat, 0, n, norm)
+	} else {
+		b.table.NormalizeQIInto(b.flat[old*dim:], old, n, norm)
+	}
+	b.norm = norm
+	b.rows = n
+	return nil
+}
+
+// Delete removes the given rows (current numbering, ascending, unique)
+// and marks the incremental substrate invalid: Finish will rebuild it
+// with a cold Prepare over the filtered table, exactly as the engine
+// does for a deletion epoch.
+func (b *Builder) Delete(rowIDs []int) error {
+	rows := b.table.Len()
+	keep := make([]int, 0, rows-len(rowIDs))
+	ti := 0
+	for r := 0; r < rows; r++ {
+		if ti < len(rowIDs) && rowIDs[ti] == r {
+			ti++
+			continue
+		}
+		keep = append(keep, r)
+	}
+	if ti != len(rowIDs) {
+		return fmt.Errorf("tclose: delete ids not ascending unique in range (%d rows)", rows)
+	}
+	sub, err := b.table.Subset(keep)
+	if err != nil {
+		return err
+	}
+	b.table = sub
+	if b.hint > 0 {
+		b.table.Grow(b.hint)
+	}
+	b.dirty = true
+	b.spaces, b.flat = nil, nil
+	b.rows = b.table.Len()
+	return nil
+}
+
+// Finish seals the build and returns the Prepared. An empty table
+// returns ErrNoRecords, as Prepare does.
+func (b *Builder) Finish() (*Prepared, error) {
+	if b.table.Len() == 0 {
+		return nil, ErrNoRecords
+	}
+	if b.dirty {
+		return Prepare(b.table)
+	}
+	dim := len(b.qiCols)
+	points := make([][]float64, b.rows)
+	for i := range points {
+		points[i] = b.flat[i*dim : (i+1)*dim]
+	}
+	p := &Prepared{
+		table:  b.table,
+		points: points,
+		mat:    micro.NewMatrix(points),
+		spaces: b.spaces,
+		norm:   b.norm,
+	}
+	p.initSignatures()
+	return p, nil
+}

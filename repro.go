@@ -108,6 +108,11 @@
 //	eng, err := repro.Open(st, "patients")       // materialize + prepare
 //	res, err := eng.Run(ctx, spec)
 //
+//	// Tables near the RAM ceiling: OpenStreaming builds the same engine
+//	// chunk-at-a-time under a byte budget, never holding a second full
+//	// copy of the raw table (releases stay bit-identical to Open's).
+//	eng, err = repro.OpenStreaming(st, "patients", 8<<20)
+//
 //	// Epochs on an opened engine write through: each Append/Delete is
 //	// durable (fsynced, checksummed) before it becomes visible to runs.
 //	err = eng.Append(rows...)
@@ -283,6 +288,16 @@ func MemStore() Store { return store.NewMemBackend() }
 // its epoch history restored; Append/Delete on the opened engine persist
 // durably before becoming visible. See core.Open.
 func Open(s Store, name string, opts ...Option) (*Engine, error) { return core.Open(s, name, opts...) }
+
+// OpenStreaming is Open under a memory budget: the engine substrate is
+// built chunk-at-a-time from the store's committed history, so peak
+// memory during the open is bounded by the budget (<= 0 picks a default)
+// plus the substrate itself — never a second full copy of the raw table.
+// The opened engine is bit-identical to Open's (same TableHash, same
+// releases); see core.OpenStreaming.
+func OpenStreaming(s Store, name string, budget int, opts ...Option) (*Engine, error) {
+	return core.OpenStreaming(s, name, budget, opts...)
+}
 
 // Create snapshots a table into the store under name and opens an engine
 // over it; see core.Create.
